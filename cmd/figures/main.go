@@ -1,0 +1,67 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation (plus the quantitative claims made in the text) and prints
+// them as ASCII tables and bar charts. See EXPERIMENTS.md for the
+// paper-vs-measured record these outputs feed.
+//
+// Usage:
+//
+//	figures            # paper-scale transaction counts (slower)
+//	figures -quick     # reduced counts for a fast sanity pass
+//	figures -only fig5 # one artifact: table1, fig5, fig6, fig7, fig8,
+//	                   # fig9, tpcc, pess, openpage, cmi, nonak,
+//	                   # microcode, link, directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piranha"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced transaction counts")
+	only := flag.String("only", "", "generate a single artifact")
+	flag.Parse()
+
+	scale := piranha.PaperScale
+	if *quick {
+		scale = piranha.QuickScale
+	}
+
+	artifacts := []struct {
+		name string
+		gen  func() piranha.FigureReport
+	}{
+		{"table1", func() piranha.FigureReport { return piranha.Table1() }},
+		{"fig5", func() piranha.FigureReport { return piranha.Fig5(scale) }},
+		{"fig6", func() piranha.FigureReport { return piranha.Fig6(scale) }},
+		{"fig7", func() piranha.FigureReport { return piranha.Fig7(scale) }},
+		{"fig8", func() piranha.FigureReport { return piranha.Fig8(scale) }},
+		{"tpcc", func() piranha.FigureReport { return piranha.TextTPCC(scale) }},
+		{"tradeoff", func() piranha.FigureReport { return piranha.TextCacheTradeoff(scale) }},
+		{"inclusion", func() piranha.FigureReport { return piranha.AblationInclusion(scale) }},
+		{"pess", func() piranha.FigureReport { return piranha.TextPessimistic(scale) }},
+		{"openpage", func() piranha.FigureReport { return piranha.Sec24OpenPage() }},
+		{"cmi", func() piranha.FigureReport { return piranha.Sec253CMI() }},
+		{"nonak", func() piranha.FigureReport { return piranha.Sec253NoNAK() }},
+		{"microcode", func() piranha.FigureReport { return piranha.Sec251Microcode() }},
+		{"link", func() piranha.FigureReport { return piranha.Sec261LinkCode() }},
+		{"directory", func() piranha.FigureReport { return piranha.DirectoryNote() }},
+		{"fig9", func() piranha.FigureReport { return piranha.Fig9Area() }},
+	}
+
+	found := false
+	for _, a := range artifacts {
+		if *only != "" && a.name != *only {
+			continue
+		}
+		found = true
+		fmt.Println(a.gen())
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
+		os.Exit(2)
+	}
+}

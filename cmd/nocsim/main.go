@@ -1,0 +1,81 @@
+// Command nocsim runs the standalone interconnect simulator (paper §2.6):
+// pick a topology, inject uniform random traffic at a given rate, and
+// report delivery latency, hops, hot-potato deflections and buffer
+// occupancy.
+//
+// Usage:
+//
+//	nocsim -topo torus -w 4 -h 4 -cycles 5000 -rate 0.4 -buffers 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"piranha/internal/noc"
+	"piranha/internal/sim"
+)
+
+func main() {
+	var (
+		topoName = flag.String("topo", "torus", "topology: ring|mesh|torus|full")
+		w        = flag.Int("w", 4, "width (mesh/torus) or node count (ring/full)")
+		h        = flag.Int("h", 4, "height (mesh/torus)")
+		cycles   = flag.Int("cycles", 5000, "injection cycles")
+		rate     = flag.Float64("rate", 0.3, "packets injected per node per cycle")
+		long     = flag.Float64("long", 0.3, "fraction of long (data) packets")
+		buffers  = flag.Int("buffers", 16, "shared buffer pool per router")
+		seed     = flag.Uint64("seed", 1, "rng seed")
+	)
+	flag.Parse()
+
+	var topo noc.Topology
+	switch *topoName {
+	case "ring":
+		topo = noc.Ring{N: *w}
+	case "mesh":
+		topo = noc.Mesh{W: *w, H: *h}
+	case "torus":
+		topo = noc.Torus{W: *w, H: *h}
+	case "full":
+		topo = noc.Full{N: *w}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topoName)
+		os.Exit(2)
+	}
+
+	cfg := noc.DefaultConfig()
+	cfg.BufferPool = *buffers
+	net, err := noc.NewNetwork(cfg, topo, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := sim.NewRNG(*seed + 1)
+	n := topo.Nodes()
+	injected := 0
+	for c := 0; c < *cycles; c++ {
+		for node := 0; node < n; node++ {
+			if rng.Float64() < *rate {
+				dst := rng.Intn(n)
+				if dst == node {
+					continue
+				}
+				net.Inject(node, dst, rng.Intn(noc.Priorities), rng.Bool(*long))
+				injected++
+			}
+		}
+		net.Step()
+	}
+	if err := net.Run(1 << 30); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := net.Stats()
+	fmt.Printf("topology %s  nodes=%d  injected=%d  delivered=%d\n", *topoName, n, injected, st.Delivered)
+	fmt.Printf("avg latency: %.1f cycles   max: %d\n", st.AvgLatency, st.MaxLatency)
+	fmt.Printf("avg hops:    %.2f\n", st.AvgHops)
+	fmt.Printf("deflections: %d\n", st.Deflections)
+	fmt.Printf("max buffer occupancy: %d (pool %d)\n", st.MaxPoolDepth, *buffers)
+}

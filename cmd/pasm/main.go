@@ -1,0 +1,47 @@
+// Command pasm assembles protocol-engine microcode (paper §2.5.1) and
+// prints the resulting 21-bit words with their disassembly. With no file
+// argument it assembles the built-in reference protocol handlers.
+//
+// Usage:
+//
+//	pasm [file.uasm]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"piranha/internal/useq"
+)
+
+func main() {
+	src := useq.ReferenceProtocol
+	name := "(reference protocol)"
+	if len(os.Args) > 1 {
+		b, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		src = string(b)
+		name = os.Args[1]
+	}
+	p, err := useq.Assemble(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d words (%d-bit), store %d/%d\n\n", name, len(p.Words), useq.WordBits, len(p.Words), useq.StoreSize)
+	// Invert the label table for annotation.
+	byAddr := map[uint16][]string{}
+	for l, a := range p.Labels {
+		byAddr[a] = append(byAddr[a], l)
+	}
+	for i, w := range p.Words {
+		label := ""
+		for _, l := range byAddr[uint16(i)] {
+			label += l + ":"
+		}
+		fmt.Printf("%03x  %06x  %-14s %s\n", i, uint32(w), label, w)
+	}
+}

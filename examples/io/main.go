@@ -1,0 +1,67 @@
+// I/O architecture example (paper §2, Figure 2/3): an I/O chip is a
+// full-fledged member of the interconnect and the global shared-memory
+// coherence protocol. A processing chip and an I/O chip share a fabric;
+// device DMA moves data coherently (invalidating and forwarding like any
+// CPU), and scheduling the device driver on the I/O chip's own CPU gives
+// it lower-latency access to the device structures than a driver running
+// on the processing chip would get.
+package main
+
+import (
+	"fmt"
+
+	"piranha/internal/cache"
+	"piranha/internal/core"
+	"piranha/internal/cpu"
+	"piranha/internal/ionode"
+	"piranha/internal/pe"
+	"piranha/internal/sim"
+)
+
+func main() {
+	// Node 0: an 8-CPU processing chip. Node 1: the I/O chip.
+	fabric := pe.NewFabric(pe.DefaultConfig(2), pe.NewFlatNetwork(25*sim.Nanosecond))
+	proc := core.NewChip(core.PiranhaChip(8), fabric.Proto(0))
+	fabric.BindL2(0, proc.L2)
+	io := ionode.New(ionode.DefaultConfig(), fabric.Proto(1))
+	fabric.BindL2(1, io.Node.L2)
+
+	fmt.Println("Piranha I/O node: coherent DMA and driver placement")
+	fmt.Printf("processing node: %d CPUs, 4 channels; I/O node: %d CPU, %d channels\n\n",
+		len(proc.Cores), len(io.Node.Cores), io.Channels())
+
+	// A buffer homed at the processing node (page 0 -> node 0).
+	buf := cache.Addr(0x0000)
+	// Device control structures homed at the I/O node (page 1 -> node 1).
+	devCtl := cache.Addr(cache.PageBytes)
+
+	// The CPU dirties the buffer, then the device writes it to disk:
+	// the DMA read forwards from the CPU's cache across the fabric.
+	now, _ := proc.Access(0, 0, cpu.Store, buf)
+	done := io.DiskWrite(now, buf, 512)
+	fmt.Printf("disk write of a CPU-dirty buffer completed at %.1f us (coherent DMA read)\n",
+		float64(done)/float64(sim.Microsecond))
+
+	// The device then DMAs fresh data into the buffer: the CPU's stale
+	// copy must be invalidated by the coherence protocol.
+	proc.Access(done, 0, cpu.Load, buf) // re-cache it
+	intr := io.DiskRead(done, buf, 512)
+	if proc.DL1[0].State(buf.Line()) != cache.Invalid {
+		panic("DMA write did not invalidate the remote CPU copy")
+	}
+	fmt.Printf("disk read DMA invalidated the processing chip's cached buffer (interrupt at %.1f us)\n",
+		float64(intr)/float64(sim.Microsecond))
+
+	// Driver placement: access latency to the device control structures
+	// from the I/O chip's CPU (local) vs the processing chip (remote).
+	t0 := intr + sim.Microsecond
+	localDone, _ := io.Node.Access(t0, 0, cpu.Load, devCtl)
+	remoteDone, _ := proc.Access(t0, 0, cpu.Load, devCtl)
+	fmt.Printf("\ndevice-structure load latency:\n")
+	fmt.Printf("  driver on I/O-chip CPU:     %4.0f ns (local)\n",
+		float64(localDone-t0)/float64(sim.Nanosecond))
+	fmt.Printf("  driver on processing chip:  %4.0f ns (remote fetch)\n",
+		float64(remoteDone-t0)/float64(sim.Nanosecond))
+	fmt.Println("\nscheduling the driver next to the device wins — the paper's argument")
+	fmt.Printf("\nDMA lines moved: %d, interrupts: %d\n", io.DMALines, io.Interrupts)
+}

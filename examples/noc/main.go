@@ -1,0 +1,53 @@
+// Interconnect example: build a 16-node torus of Piranha routers (four
+// channels per processing node, exactly the prototype's channel count),
+// inject mixed-priority traffic, and watch the hot-potato adaptive router
+// deliver everything — then shrink the buffers and watch deflection
+// routing absorb the contention.
+package main
+
+import (
+	"fmt"
+
+	"piranha/internal/noc"
+	"piranha/internal/sim"
+)
+
+func run(buffers int, rate float64) {
+	cfg := noc.DefaultConfig()
+	cfg.BufferPool = buffers
+	net, err := noc.NewNetwork(cfg, noc.Torus{W: 4, H: 4}, 1)
+	if err != nil {
+		panic(err)
+	}
+	rng := sim.NewRNG(2)
+	injected := 0
+	for c := 0; c < 3000; c++ {
+		for node := 0; node < 16; node++ {
+			if rng.Float64() < rate {
+				dst := rng.Intn(16)
+				if dst != node {
+					net.Inject(node, dst, rng.Intn(noc.Priorities), rng.Bool(0.3))
+					injected++
+				}
+			}
+		}
+		net.Step()
+	}
+	if err := net.Run(1 << 30); err != nil {
+		panic(err)
+	}
+	st := net.Stats()
+	fmt.Printf("buffers=%-3d rate=%.2f  delivered %d/%d  avg latency %.1f cycles  "+
+		"deflections %d  max buffer depth %d\n",
+		buffers, rate, st.Delivered, injected, st.AvgLatency, st.Deflections, st.MaxPoolDepth)
+}
+
+func main() {
+	fmt.Println("Piranha system interconnect: 4x4 torus, hot-potato adaptive routing")
+	fmt.Println("\nample buffering:")
+	run(16, 0.2)
+	run(16, 0.5)
+	fmt.Println("\ntiny buffers (deflection does the work):")
+	run(2, 0.2)
+	run(2, 0.5)
+}

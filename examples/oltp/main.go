@@ -1,0 +1,39 @@
+// OLTP scaling study: sweep the on-chip core count (Figure 6a) and then
+// scale out to multiple chips over the glueless interconnect (Figure 7),
+// printing speedups and where each configuration's L1 misses are served.
+package main
+
+import (
+	"fmt"
+
+	"piranha"
+	"piranha/internal/core"
+)
+
+func main() {
+	warm, tx := uint64(50), uint64(100)
+
+	fmt.Println("=== on-chip scaling (Fig 6a): OLTP, 1..8 cores ===")
+	var base piranha.Result
+	for _, n := range []int{1, 2, 4, 8} {
+		sys := piranha.SystemConfig{Chips: 1, Chip: core.PiranhaChip(n)}
+		r := piranha.RunOLTP(sys, warm, tx)
+		if n == 1 {
+			base = r
+		}
+		h, f, m := r.Miss.Fractions()
+		fmt.Printf("P%-2d  ns/tx=%-9.0f speedup=%.2f  misses: L2hit=%.0f%% fwd=%.0f%% mem=%.0f%%\n",
+			n, r.TimePerTx, base.TimePerTx/r.TimePerTx, h*100, f*100, m*100)
+	}
+
+	fmt.Println("\n=== multi-chip scaling (Fig 7): 4-core chips, 1..4 chips ===")
+	var one piranha.Result
+	for n := 1; n <= 4; n++ {
+		r := piranha.RunOLTP(piranha.MultiChip(n, 4), warm, tx)
+		if n == 1 {
+			one = r
+		}
+		fmt.Printf("%d chip(s), %2d CPUs: ns/tx=%-9.0f speedup=%.2f\n",
+			n, r.CPUs, r.TimePerTx, one.TimePerTx/r.TimePerTx)
+	}
+}

@@ -1,0 +1,31 @@
+// Quickstart: build the Piranha P8 chip, run a short OLTP measurement,
+// and print the paper's headline metrics — then compare against the
+// next-generation out-of-order processor on a per-chip basis.
+package main
+
+import (
+	"fmt"
+
+	"piranha"
+)
+
+func main() {
+	fmt.Println("Piranha quickstart: P8 vs OOO on OLTP (short run)")
+
+	p8 := piranha.RunOLTP(piranha.P8(), 50, 100)
+	ooo := piranha.RunOLTP(piranha.OOO(), 50, 100)
+
+	fmt.Println(p8)
+	fmt.Println(ooo)
+
+	busy, hit, miss, _ := p8.Agg.Normalized(p8.Agg.Total())
+	fmt.Printf("\nP8 execution time: %.0f ns/tx (busy %.0f%%, L2 stall %.0f%%, mem stall %.0f%%)\n",
+		p8.TimePerTx, busy*100, hit*100, miss*100)
+
+	h, f, m := p8.Miss.Fractions()
+	fmt.Printf("P8 L1-miss service: L2 hit %.0f%%, forwarded from a peer L1 %.0f%%, memory %.0f%%\n",
+		h*100, f*100, m*100)
+
+	fmt.Printf("\nPer-chip speedup of Piranha over the 1 GHz out-of-order design: %.2fx\n",
+		ooo.TimePerTx/p8.TimePerTx)
+}

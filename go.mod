@@ -1,0 +1,3 @@
+module piranha
+
+go 1.22

@@ -1,0 +1,112 @@
+// Package area models the Piranha processing node's die area and
+// floorplan (paper §5, Figure 9): in the 0.18 µm ASIC process, roughly
+// 75% of the node is the eight Alpha cores with their L1s and the L2
+// banks, with the remainder split among the memory controllers, the
+// intra-chip switch, the router and the protocol engines. The numbers
+// here derive from the paper's stated proportions and the process's
+// published cell metrics (4.2 µm² SRAM cells, 81 ps worst-case 2-input
+// NAND).
+package area
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SquareMM is an area in mm².
+type SquareMM float64
+
+// Module is one floorplan block.
+type Module struct {
+	Name  string
+	Count int
+	Each  SquareMM
+}
+
+// Total returns the module's total area.
+func (m Module) Total() SquareMM { return SquareMM(float64(m.Count) * float64(m.Each)) }
+
+// Process captures the ASIC process parameters (IBM SA27E-class).
+type Process struct {
+	// SRAMCellUM2 is the 6T SRAM cell size in µm².
+	SRAMCellUM2 float64
+	// NANDDelayPS is the worst-case unloaded 2-input NAND delay.
+	NANDDelayPS float64
+	// TargetMHz is the achievable clock with this methodology.
+	TargetMHz int
+}
+
+// ASIC018 is the paper's 0.18 µm semi-custom process.
+func ASIC018() Process {
+	return Process{SRAMCellUM2: 4.2, NANDDelayPS: 81, TargetMHz: 500}
+}
+
+// SRAMArea estimates the array area for the given capacity in bytes,
+// including a typical 40% overhead for decoders, sense amps and tags.
+func (p Process) SRAMArea(bytes int) SquareMM {
+	cells := float64(bytes) * 8
+	um2 := cells * p.SRAMCellUM2 * 1.4
+	return SquareMM(um2 / 1e6)
+}
+
+// Floorplan is the processing node's block list.
+type Floorplan struct {
+	Modules []Module
+}
+
+// PiranhaNode returns the eight-CPU processing node's floorplan. Block
+// sizes follow the paper's proportions: the CPU+L1 column pairs dominate,
+// the L2 banks and memory controllers line the die edges, and the ICS
+// runs along the center.
+func PiranhaNode(proc Process) Floorplan {
+	l1 := proc.SRAMArea(2 * 64 << 10) // I + D per core
+	l2bank := proc.SRAMArea(128 << 10)
+	return Floorplan{Modules: []Module{
+		{Name: "Alpha core", Count: 8, Each: 7.0},
+		{Name: "L1 caches (I+D)", Count: 8, Each: l1},
+		{Name: "L2 bank", Count: 8, Each: l2bank},
+		{Name: "Memory controller", Count: 8, Each: 1.6},
+		{Name: "Intra-chip switch", Count: 1, Each: 12.0},
+		{Name: "Protocol engine", Count: 2, Each: 3.0},
+		{Name: "Router+IQ+OQ+PS", Count: 1, Each: 8.0},
+		{Name: "System control", Count: 1, Each: 2.0},
+	}}
+}
+
+// Total returns the summed block area.
+func (f Floorplan) Total() SquareMM {
+	var t SquareMM
+	for _, m := range f.Modules {
+		t += m.Total()
+	}
+	return t
+}
+
+// CoreCacheFraction returns the fraction of area in CPUs + L1s + L2 —
+// the paper reports roughly 75%.
+func (f Floorplan) CoreCacheFraction() float64 {
+	var cc SquareMM
+	for _, m := range f.Modules {
+		switch m.Name {
+		case "Alpha core", "L1 caches (I+D)", "L2 bank":
+			cc += m.Total()
+		}
+	}
+	return float64(cc) / float64(f.Total())
+}
+
+// String renders the floorplan as a table sorted by total area.
+func (f Floorplan) String() string {
+	ms := append([]Module(nil), f.Modules...)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Total() > ms[j].Total() })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %5s %10s %10s %7s\n", "module", "count", "each(mm2)", "total(mm2)", "share")
+	total := f.Total()
+	for _, m := range ms {
+		fmt.Fprintf(&b, "%-22s %5d %10.2f %10.2f %6.1f%%\n",
+			m.Name, m.Count, float64(m.Each), float64(m.Total()), 100*float64(m.Total())/float64(total))
+	}
+	fmt.Fprintf(&b, "%-22s %27.2f\n", "TOTAL", float64(total))
+	return b.String()
+}

@@ -1,0 +1,41 @@
+package area
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCoreCacheFractionMatchesPaper(t *testing.T) {
+	f := PiranhaNode(ASIC018())
+	frac := f.CoreCacheFraction()
+	// Paper §5: "Roughly 75% of the Piranha processing node area is
+	// dedicated to the Alpha cores and L1/L2 caches".
+	if frac < 0.68 || frac > 0.82 {
+		t.Fatalf("core+cache fraction %.2f, want ~0.75", frac)
+	}
+}
+
+func TestSRAMScaling(t *testing.T) {
+	p := ASIC018()
+	if p.SRAMArea(128<<10) <= p.SRAMArea(64<<10) {
+		t.Fatal("SRAM area must grow with capacity")
+	}
+	// 1 MB of 4.2 µm² cells with overhead: on the order of 50 mm².
+	a := float64(p.SRAMArea(1 << 20))
+	if a < 30 || a > 80 {
+		t.Fatalf("1MB SRAM area %.1f mm2 out of plausible range", a)
+	}
+}
+
+func TestFloorplanRender(t *testing.T) {
+	f := PiranhaNode(ASIC018())
+	out := f.String()
+	for _, want := range []string{"Alpha core", "L2 bank", "TOTAL", "Intra-chip switch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("floorplan missing %q:\n%s", want, out)
+		}
+	}
+	if f.Total() <= 0 {
+		t.Fatal("no area")
+	}
+}

@@ -1,0 +1,60 @@
+package cache
+
+// PageBytes is the virtual-memory page size used by the TLB model.
+const PageBytes = 8192
+
+// PageShift is log2(PageBytes).
+const PageShift = 13
+
+// TLB models the 256-entry 4-way set-associative translation buffers in
+// each L1 module (paper §2.1). Translation itself is identity (the
+// simulator works in physical addresses); the TLB exists to charge refill
+// latency and to count misses.
+type TLB struct {
+	tags [][]uint64 // page numbers per set/way; ^0 means empty
+	lru  [][]uint64
+	tick uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewTLB returns an empty TLB with entries total entries and ways ways.
+func NewTLB(entries, ways int) *TLB {
+	sets := entries / ways
+	t := &TLB{tags: make([][]uint64, sets), lru: make([][]uint64, sets)}
+	for i := range t.tags {
+		t.tags[i] = make([]uint64, ways)
+		t.lru[i] = make([]uint64, ways)
+		for j := range t.tags[i] {
+			t.tags[i][j] = ^uint64(0)
+		}
+	}
+	return t
+}
+
+// Access touches the page containing a and reports whether it hit.
+// On a miss the translation is filled (evicting LRU).
+func (t *TLB) Access(a Addr) bool {
+	page := uint64(a) >> PageShift
+	si := page & uint64(len(t.tags)-1)
+	set := t.tags[si]
+	t.tick++
+	for i, tag := range set {
+		if tag == page {
+			t.Hits++
+			t.lru[si][i] = t.tick
+			return true
+		}
+	}
+	t.Misses++
+	way := 0
+	for i := 1; i < len(set); i++ {
+		if t.lru[si][i] < t.lru[si][way] {
+			way = i
+		}
+	}
+	set[way] = page
+	t.lru[si][way] = t.tick
+	return false
+}

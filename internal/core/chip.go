@@ -1,0 +1,173 @@
+// Package core assembles the Piranha processing node (paper §2, Figure 1)
+// — CPUs, per-core L1 instruction/data caches, the intra-chip switch, the
+// eight-bank shared non-inclusive L2, the per-bank memory controllers and
+// the protocol engines — into a chip; assembles chips plus the interconnect
+// fabric into a system; and provides the experiment runner that produces
+// the paper's metrics (execution-time breakdowns, L1-miss breakdowns,
+// speedups, engine occupancies, open-page hit rates).
+package core
+
+import (
+	"fmt"
+
+	"piranha/internal/cache"
+	"piranha/internal/cpu"
+	"piranha/internal/ics"
+	"piranha/internal/l1"
+	"piranha/internal/l2"
+	"piranha/internal/memctl"
+	"piranha/internal/sim"
+	"piranha/internal/stats"
+)
+
+// ChipConfig describes one processing chip.
+type ChipConfig struct {
+	// CPUs on the chip (8 for P8, 4 for the multi-chip P4 study, 1 for
+	// P1/INO/OOO).
+	CPUs int
+	// Core is the processor model (clock, issue width, window).
+	Core cpu.Model
+	// L1 is the per-core I/D cache geometry.
+	L1 l1.Config
+	// L2 is the shared second-level cache (banks, ways, latencies).
+	L2 l2.Config
+	// Mem is the per-bank Rambus channel model.
+	Mem memctl.Config
+	// TLBRefillCycles is the PAL-handled TLB-miss cost in core cycles.
+	TLBRefillCycles int
+}
+
+// Chip is one assembled processing node. It implements cpu.MemSystem for
+// its cores.
+type Chip struct {
+	Cfg   ChipConfig
+	Cores []*cpu.Core
+	DL1   []*l1.Cache
+	IL1   []*l1.Cache
+	L2    *l2.L2
+	MCs   []*memctl.Controller
+	SW    *ics.Switch
+}
+
+// NewChip builds a chip wired to the given protocol-engine side (use
+// l2.LocalOnly{} for single-chip systems).
+func NewChip(cfg ChipConfig, remote l2.Remote) *Chip {
+	if cfg.CPUs < 1 {
+		panic("core: chip needs at least one CPU")
+	}
+	c := &Chip{Cfg: cfg}
+	c.SW = ics.New(ics.DefaultConfig(cfg.Core.Clock))
+
+	var l1s []*l1.Cache
+	for i := 0; i < cfg.CPUs; i++ {
+		d := l1.New(l1.Data, i, i*2, cfg.L1)
+		ins := l1.New(l1.Instruction, i, i*2+1, cfg.L1)
+		c.DL1 = append(c.DL1, d)
+		c.IL1 = append(c.IL1, ins)
+		l1s = append(l1s, d, ins)
+	}
+	var mems []l2.Memory
+	for b := 0; b < cfg.L2.Banks; b++ {
+		mc := memctl.New(cfg.Mem)
+		c.MCs = append(c.MCs, mc)
+		mems = append(mems, mc)
+	}
+	c.L2 = l2.New(cfg.L2, cfg.Core.Clock, l1s, mems, c.SW, remote)
+
+	for i := 0; i < cfg.CPUs; i++ {
+		c.Cores = append(c.Cores, cpu.New(i, cfg.Core, c))
+	}
+	return c
+}
+
+// Access implements cpu.MemSystem: the full L1 -> ICS -> L2 -> memory /
+// protocol-engine path for one reference.
+func (c *Chip) Access(now sim.Time, cpuID int, kind cpu.AccessKind, a cache.Addr) (sim.Time, l2.Svc) {
+	switch kind {
+	case cpu.Fetch:
+		il1 := c.IL1[cpuID]
+		st, tlbHit := il1.Probe(a)
+		now = c.refill(now, tlbHit)
+		if st.Valid() {
+			return now, l2.SvcL1
+		}
+		return c.L2.Access(now, il1, l2.Read, a)
+
+	case cpu.Load:
+		dl1 := c.DL1[cpuID]
+		st, tlbHit := dl1.Probe(a)
+		now = c.refill(now, tlbHit)
+		if st.Valid() {
+			return now, l2.SvcL1
+		}
+		return c.L2.Access(now, dl1, l2.Read, a)
+
+	case cpu.Store:
+		dl1 := c.DL1[cpuID]
+		st, tlbHit := dl1.Probe(a)
+		now = c.refill(now, tlbHit)
+		if st.CanWrite() {
+			// E -> M is a silent transition; dirtiness reaches the L2
+			// bank with the eventual owner write-back.
+			dl1.SetState(a.Line(), cache.Modified)
+			return now, l2.SvcL1
+		}
+		kindL2 := l2.ReadEx
+		if st == cache.Shared {
+			kindL2 = l2.Upgrade
+		}
+		done, svc := c.L2.Access(now, dl1, kindL2, a)
+		// The store retires into the store buffer; the CPU waits only
+		// when all entries are occupied by in-flight misses.
+		free := dl1.SB.Acquire(now, done-now) - (done - now)
+		if free < now {
+			free = now
+		}
+		return free, svc
+
+	case cpu.StoreHint:
+		dl1 := c.DL1[cpuID]
+		st, _ := dl1.Probe(a)
+		if st.CanWrite() {
+			dl1.SetState(a.Line(), cache.Modified)
+			return now, l2.SvcL1
+		}
+		// wh64: obtain exclusivity without data, off the critical path.
+		c.L2.Access(now, dl1, l2.ReadExNoData, a)
+		return now, l2.SvcL1
+	}
+	panic(fmt.Sprintf("core: unknown access kind %d", kind))
+}
+
+// refill charges the PAL-handled TLB refill when the probe missed.
+func (c *Chip) refill(now sim.Time, tlbHit bool) sim.Time {
+	if tlbHit || c.Cfg.TLBRefillCycles <= 0 {
+		return now
+	}
+	return now + c.Cfg.Core.Clock.Cycles(int64(c.Cfg.TLBRefillCycles))
+}
+
+// MemStats sums the chip's memory-controller counters.
+func (c *Chip) MemStats() (reads, writes, pageHits, pageMiss uint64) {
+	for _, mc := range c.MCs {
+		reads += mc.Reads
+		writes += mc.Writes
+		pageHits += mc.PageHits
+		pageMiss += mc.PageMiss
+	}
+	return
+}
+
+// ResetStats clears per-measurement counters after warmup.
+func (c *Chip) ResetStats() {
+	for _, core := range c.Cores {
+		core.Breakdown = stats.Breakdown{}
+		core.Instructions = 0
+		core.SvcCounts = [6]uint64{}
+	}
+	c.L2.ResetStats()
+	for _, mc := range c.MCs {
+		mc.Reads, mc.Writes, mc.PageHits, mc.PageMiss = 0, 0, 0, 0
+		mc.DirReads, mc.DirWrites = 0, 0
+	}
+}

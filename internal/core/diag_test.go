@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+
+	"piranha/internal/sim"
+	"piranha/internal/workload"
+)
+
+// TestDiagQueueDetail is a calibration diagnostic: it reports where L2
+// service time goes at P1 vs P8 (run with -v).
+func TestDiagQueueDetail(t *testing.T) {
+	for _, n := range []int{1, 8} {
+		sys := NewSystem(SystemConfig{Chips: 1, Chip: PiranhaChip(n)})
+		cfg := workload.DefaultOLTP()
+		w := workload.NewOLTP(cfg, workload.DefaultLayout(), sys.TotalCPUs()*cfg.ProcsPerCPU)
+		rng := sim.NewRNG(12345)
+		for c := 0; c < sys.TotalCPUs(); c++ {
+			for p := 0; p < cfg.ProcsPerCPU; p++ {
+				sys.Kern.Spawn(c, w.NewProcess(), rng.Uint64())
+			}
+		}
+		sys.Kern.RunTx(60)
+		sys.ResetStats()
+		elapsed := sys.Kern.RunTx(180)
+		pend, ctl, tsrf, conf := sys.Chips[0].L2.QueueStats()
+		perTx := func(v sim.Time) float64 { return float64(v) / 120 / 1000 }
+		t.Logf("P%d elapsed=%v pendWait/tx=%.0fns ctlWait/tx=%.0fns tsrfWait/tx=%.0fns conflicts/tx=%.1f icsAvgWait=%.1fns",
+			n, elapsed, perTx(pend), perTx(ctl), perTx(tsrf), float64(conf)/120,
+			sys.Chips[0].SW.AvgWait()/1000)
+		var bd sim.Time
+		for _, c := range sys.Cores {
+			bd += c.Breakdown.L2HitStall
+		}
+		t.Logf("P%d total L2HitStall/tx = %.0f ns", n, perTx(bd))
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+
+	"piranha/internal/kernel"
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+	"piranha/internal/stats"
+	"piranha/internal/workload"
+)
+
+// WorkloadKind selects the workload family.
+type WorkloadKind string
+
+// Workload kinds.
+const (
+	OLTP WorkloadKind = "oltp"
+	DSS  WorkloadKind = "dss"
+	TPCC WorkloadKind = "tpcc"
+	// WEB is the §6 AltaVista-style search workload (DSS-like scans
+	// with web-server thread counts).
+	WEB WorkloadKind = "web"
+)
+
+// WorkloadSpec names a workload and its configuration.
+type WorkloadSpec struct {
+	Kind WorkloadKind
+	// OLTP config for OLTP/TPCC kinds (zero value takes defaults).
+	OLTP workload.OLTPConfig
+	// DSS config for the DSS kind (zero value takes defaults).
+	DSS workload.DSSConfig
+}
+
+// Experiment is one simulation run.
+type Experiment struct {
+	Name      string
+	Sys       SystemConfig
+	Work      WorkloadSpec
+	WarmTx    uint64
+	MeasureTx uint64
+	Seed      uint64
+}
+
+// Result carries the measurements an experiment produces.
+type Result struct {
+	Name    string
+	Chips   int
+	CPUs    int
+	Tx      uint64
+	Elapsed sim.Time
+	// TimePerTx is the headline metric (ns per transaction); speedups
+	// and the paper's normalized execution times are ratios of it.
+	TimePerTx float64
+	// Agg sums the per-core execution-time breakdowns.
+	Agg stats.Breakdown
+	// Miss is the machine-wide L1-miss service breakdown (Fig. 6b).
+	Miss stats.MissBreakdown
+	// PageHitRate is the memory controllers' open-page hit rate.
+	PageHitRate float64
+	// Instructions retired during measurement.
+	Instructions uint64
+	// Idle is total CPU idle time.
+	Idle sim.Time
+	// CtxSwitches during the whole run.
+	CtxSwitches uint64
+	// L2 aggregates the chips' L2 controller counters.
+	L2 l2.Stats
+	// Svc counts core-side accesses by service class (index l2.Svc).
+	Svc [6]uint64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	busy, hit, miss, other := r.Agg.Normalized(r.Agg.Total())
+	return fmt.Sprintf("%-18s chips=%d cpus=%-2d tx=%-5d ns/tx=%-10.0f busy=%.2f l2stall=%.2f memstall=%.2f other=%.2f",
+		r.Name, r.Chips, r.CPUs, r.Tx, r.TimePerTx, busy, hit, miss, other)
+}
+
+// Run executes the experiment.
+func Run(e Experiment) Result {
+	if e.MeasureTx == 0 {
+		e.MeasureTx = 200
+	}
+	if e.Work.Kind == "" {
+		e.Work.Kind = OLTP
+	}
+	// The OOO core's sustained IPC depends on the workload's ILP.
+	if e.Sys.Chip.Core.IssueWidth > 1 && e.Sys.Chip.Core.IPC == 0 {
+		e.Sys.Chip.Core.IPC = workload.OOOIPC(string(e.Work.Kind))
+	}
+	sys := NewSystem(e.Sys)
+	lay := workload.DefaultLayout()
+	ncpu := sys.TotalCPUs()
+	seed := e.Seed
+	if seed == 0 {
+		seed = 12345
+	}
+	rng := sim.NewRNG(seed)
+
+	var procsPerCPU int
+	var spawn func(cpuID, i int)
+	switch e.Work.Kind {
+	case DSS, WEB:
+		cfg := e.Work.DSS
+		if cfg.InstrPerLine == 0 {
+			if e.Work.Kind == WEB {
+				cfg = workload.WebLike()
+			} else {
+				cfg = workload.DefaultDSS()
+			}
+		}
+		procsPerCPU = cfg.ProcsPerCPU
+		w := workload.NewDSS(cfg, lay, ncpu*procsPerCPU)
+		spawn = func(cpuID, i int) {
+			sys.Kern.Spawn(cpuID, w.NewProcess(), rng.Uint64())
+		}
+	case TPCC:
+		cfg := e.Work.OLTP
+		if cfg.InstrPerTx == 0 {
+			cfg = workload.TPCCLike()
+		}
+		procsPerCPU = cfg.ProcsPerCPU
+		w := workload.NewOLTP(cfg, lay, ncpu*procsPerCPU)
+		spawn = func(cpuID, i int) {
+			sys.Kern.Spawn(cpuID, w.NewProcess(), rng.Uint64())
+		}
+	default: // OLTP
+		cfg := e.Work.OLTP
+		if cfg.InstrPerTx == 0 {
+			cfg = workload.DefaultOLTP()
+		}
+		procsPerCPU = cfg.ProcsPerCPU
+		w := workload.NewOLTP(cfg, lay, ncpu*procsPerCPU)
+		spawn = func(cpuID, i int) {
+			sys.Kern.Spawn(cpuID, w.NewProcess(), rng.Uint64())
+		}
+	}
+	for c := 0; c < ncpu; c++ {
+		for p := 0; p < procsPerCPU; p++ {
+			spawn(c, p)
+		}
+	}
+
+	// Warm up the caches and steady-state the scheduler, then reset all
+	// counters and measure (the paper: "500 transactions after a
+	// warm-up period").
+	if e.WarmTx > 0 {
+		sys.Kern.RunTx(e.WarmTx)
+	}
+	sys.ResetStats()
+	elapsed := sys.Kern.RunTx(e.WarmTx + e.MeasureTx)
+
+	r := Result{
+		Name:        e.Name,
+		Chips:       len(sys.Chips),
+		CPUs:        ncpu,
+		Tx:          e.MeasureTx,
+		Elapsed:     elapsed,
+		TimePerTx:   float64(elapsed) / float64(e.MeasureTx) / float64(sim.Nanosecond),
+		CtxSwitches: sys.Kern.Switches,
+	}
+	var pageHits, pageTotal uint64
+	for _, chip := range sys.Chips {
+		for _, core := range chip.Cores {
+			r.Agg.Add(core.Breakdown)
+			r.Instructions += core.Instructions
+			for i, n := range core.SvcCounts {
+				r.Svc[i] += n
+			}
+		}
+		ls := chip.L2.Stats
+		r.L2.Hits += ls.Hits
+		r.L2.Fwds += ls.Fwds
+		r.L2.LocalMem += ls.LocalMem
+		r.L2.Remote += ls.Remote
+		r.L2.RemoteDirty += ls.RemoteDirty
+		r.L2.Upgrades += ls.Upgrades
+		r.L2.WritebacksToL2 += ls.WritebacksToL2
+		r.L2.WritebacksToMem += ls.WritebacksToMem
+		r.L2.Invals += ls.Invals
+		mb := chip.L2.MissBreakdown()
+		r.Miss.L2Hit += mb.L2Hit
+		r.Miss.L2Fwd += mb.L2Fwd
+		r.Miss.L2Miss += mb.L2Miss
+		_, _, ph, pm := chip.MemStats()
+		pageHits += ph
+		pageTotal += ph + pm
+	}
+	if pageTotal > 0 {
+		r.PageHitRate = float64(pageHits) / float64(pageTotal)
+	}
+	for _, t := range sys.Kern.IdleTime {
+		r.Idle += t
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		panic("core: post-run invariant violation: " + err.Error())
+	}
+	return r
+}
+
+// DefaultKernel re-exports the kernel defaults for cmd-layer tuning.
+func DefaultKernel() kernel.Config { return kernel.DefaultConfig() }

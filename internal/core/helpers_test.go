@@ -1,0 +1,19 @@
+package core
+
+import (
+	"piranha/internal/cache"
+	"piranha/internal/cpu"
+	"piranha/internal/l2"
+)
+
+// Small aliases keeping the chip tests readable without importing half
+// the tree inline.
+func localOnly() l2.Remote          { return l2.LocalOnly{} }
+func svcL1() l2.Svc                 { return l2.SvcL1 }
+func cacheAddr(v uint64) cache.Addr { return cache.Addr(v) }
+
+const (
+	cpuStore     = cpu.Store
+	cpuStoreHint = cpu.StoreHint
+	cpuLoad      = cpu.Load
+)

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"piranha/internal/cpu"
+	"piranha/internal/l1"
+	"piranha/internal/l2"
+	"piranha/internal/memctl"
+	"piranha/internal/sim"
+)
+
+// Table 1 configuration presets. The OOO core's sustained IPC depends on
+// the workload's ILP and is filled in by the experiment runner.
+
+// piranhaL2 returns the prototype L2 (1 MB 8-way, 16/24 ns).
+func piranhaL2() l2.Config { return l2.DefaultConfig() }
+
+// PiranhaChip returns the ASIC prototype chip with n CPUs (P1/P2/P4/P8).
+func PiranhaChip(n int) ChipConfig {
+	return ChipConfig{
+		CPUs:            n,
+		Core:            cpu.InOrder500(),
+		L1:              l1.DefaultConfig(),
+		L2:              piranhaL2(),
+		Mem:             memctl.DefaultConfig(),
+		TLBRefillCycles: 30,
+	}
+}
+
+// FullCustomChip returns P8F: 1.25 GHz cores, 1.5 MB 6-way L2 with
+// 12 ns hit / 16 ns forward latency (Table 1's last column).
+func FullCustomChip(n int) ChipConfig {
+	c := PiranhaChip(n)
+	c.Core = cpu.InOrder1250()
+	c.L2.SizeBytes = 1536 << 10
+	c.L2.Ways = 6
+	c.L2.HitLatency = 12 * sim.Nanosecond
+	c.L2.FwdLatency = 16 * sim.Nanosecond
+	return c
+}
+
+// OOOChip returns the next-generation out-of-order chip (21364-like):
+// one 1 GHz 4-issue 64-entry-window core, 1.5 MB 6-way L2 at 12 ns.
+func OOOChip() ChipConfig {
+	return ChipConfig{
+		CPUs:            1,
+		Core:            cpu.OutOfOrder1G(0), // IPC filled per workload
+		L1:              l1.DefaultConfig(),
+		L2:              oooL2(),
+		Mem:             memctl.DefaultConfig(),
+		TLBRefillCycles: 30,
+	}
+}
+
+// INOChip returns Table 1's INO: the OOO chip restricted to single-issue
+// in-order, isolating clock/latency effects from issue-width effects.
+func INOChip() ChipConfig {
+	c := OOOChip()
+	c.Core = cpu.InOrder1G()
+	return c
+}
+
+func oooL2() l2.Config {
+	c := l2.DefaultConfig()
+	c.SizeBytes = 1536 << 10
+	c.Ways = 6
+	c.HitLatency = 12 * sim.Nanosecond
+	c.FwdLatency = 12 * sim.Nanosecond // single core: forwarding unused
+	return c
+}
+
+// PessimisticPiranhaChip returns the §4 sensitivity design point:
+// 400 MHz CPUs, 32 KB direct-mapped L1s, 22 ns L2 hit / 32 ns forward.
+func PessimisticPiranhaChip(n int) ChipConfig {
+	c := PiranhaChip(n)
+	c.Core.Clock = sim.MHz(400)
+	c.L1.SizeBytes = 32 << 10
+	c.L1.Ways = 1
+	c.L2.HitLatency = 22 * sim.Nanosecond
+	c.L2.FwdLatency = 32 * sim.Nanosecond
+	return c
+}

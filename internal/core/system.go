@@ -1,0 +1,108 @@
+package core
+
+import (
+	"piranha/internal/cpu"
+	"piranha/internal/kernel"
+	"piranha/internal/l2"
+	"piranha/internal/noc"
+	"piranha/internal/pe"
+	"piranha/internal/sim"
+)
+
+// SystemConfig describes a complete machine: one or more Piranha chips
+// on a glueless interconnect (paper Figure 3).
+type SystemConfig struct {
+	Chips int
+	Chip  ChipConfig
+	// PE configures the protocol engines and inter-node protocol; the
+	// zero value takes pe.DefaultConfig.
+	PE pe.Config
+	// NetOneWay is the flat one-way inter-chip latency used by the
+	// protocol fabric (calibrated to Table 1's 120/180 ns).
+	NetOneWay sim.Time
+	// Topology, when set, backs the fabric with the packet-level router
+	// model's calibrated distances instead of the flat latency (rings,
+	// meshes, tori — the glueless configurations of Figure 3).
+	Topology noc.Topology
+	// Kernel configures the OS model; zero takes kernel.DefaultConfig.
+	Kernel kernel.Config
+}
+
+// System is an assembled machine with its event engine and kernel.
+type System struct {
+	Cfg    SystemConfig
+	Engine *sim.Engine
+	Chips  []*Chip
+	Fabric *pe.Fabric // nil for single-chip systems
+	Kern   *kernel.Kernel
+	Cores  []*cpu.Core // flattened across chips
+}
+
+// NewSystem builds the machine.
+func NewSystem(cfg SystemConfig) *System {
+	if cfg.Chips < 1 {
+		cfg.Chips = 1
+	}
+	if cfg.Kernel == (kernel.Config{}) {
+		cfg.Kernel = kernel.DefaultConfig()
+	}
+	s := &System{Cfg: cfg, Engine: sim.NewEngine()}
+
+	if cfg.Chips == 1 {
+		s.Chips = append(s.Chips, NewChip(cfg.Chip, l2.LocalOnly{}))
+	} else {
+		pcfg := cfg.PE
+		if pcfg.Nodes == 0 {
+			pcfg = pe.DefaultConfig(cfg.Chips)
+		}
+		pcfg.Nodes = cfg.Chips
+		var net pe.Network
+		if cfg.Topology != nil {
+			tn, err := pe.NewTopologyNetwork(cfg.Topology, sim.MHz(500), 1)
+			if err != nil {
+				panic("core: " + err.Error())
+			}
+			net = tn
+		} else {
+			oneWay := cfg.NetOneWay
+			if oneWay == 0 {
+				oneWay = 25 * sim.Nanosecond
+			}
+			net = pe.NewFlatNetwork(oneWay)
+		}
+		s.Fabric = pe.NewFabric(pcfg, net)
+		for i := 0; i < cfg.Chips; i++ {
+			chip := NewChip(cfg.Chip, s.Fabric.Proto(pe.NodeID(i)))
+			s.Fabric.BindL2(pe.NodeID(i), chip.L2)
+			s.Chips = append(s.Chips, chip)
+		}
+	}
+	for _, chip := range s.Chips {
+		s.Cores = append(s.Cores, chip.Cores...)
+	}
+	s.Kern = kernel.New(s.Engine, s.Cores, cfg.Kernel)
+	return s
+}
+
+// TotalCPUs returns the machine's CPU count.
+func (s *System) TotalCPUs() int { return len(s.Cores) }
+
+// ResetStats clears all measurement counters (after warmup).
+func (s *System) ResetStats() {
+	for _, c := range s.Chips {
+		c.ResetStats()
+	}
+	for i := range s.Kern.IdleTime {
+		s.Kern.IdleTime[i] = 0
+	}
+}
+
+// CheckInvariants validates every chip's coherence invariants.
+func (s *System) CheckInvariants() error {
+	for _, c := range s.Chips {
+		if err := c.L2.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

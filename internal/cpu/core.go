@@ -1,0 +1,271 @@
+package cpu
+
+import (
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+	"piranha/internal/stats"
+)
+
+// Model selects and parameterizes a core's microarchitecture.
+type Model struct {
+	// Clock is the core frequency (500 MHz ASIC Piranha, 1 GHz OOO,
+	// 1.25 GHz full-custom Piranha).
+	Clock sim.Clock
+	// IssueWidth is the superscalar width (1 or 4).
+	IssueWidth int
+	// WindowSize is the out-of-order instruction window (64 for OOO);
+	// 0 or 1 selects the blocking in-order model.
+	WindowSize int
+	// MSHRs bounds outstanding misses for the OOO model.
+	MSHRs int
+	// IPC is the sustained instructions/cycle the core achieves on
+	// compute runs. In-order single-issue cores sustain ~1 (the
+	// eight-stage pipeline is fully bypassed; branch effects are
+	// folded in by the workload's instruction counts). Wide-issue
+	// cores sustain IssueWidth x (workload ILP efficiency): the
+	// workload supplies this via SetComputeIPC.
+	IPC float64
+}
+
+// InOrder500 is the Piranha ASIC core: 500 MHz, single-issue, blocking.
+func InOrder500() Model {
+	return Model{Clock: sim.MHz(500), IssueWidth: 1, WindowSize: 1, MSHRs: 1, IPC: 1}
+}
+
+// InOrder1G is Table 1's INO: the OOO chip restricted to single-issue
+// in-order, keeping its 1 GHz clock and cache latencies.
+func InOrder1G() Model {
+	return Model{Clock: sim.MHz(1000), IssueWidth: 1, WindowSize: 1, MSHRs: 1, IPC: 1}
+}
+
+// OutOfOrder1G is Table 1's OOO: 1 GHz, 4-issue, 64-entry window.
+func OutOfOrder1G(ipc float64) Model {
+	return Model{Clock: sim.MHz(1000), IssueWidth: 4, WindowSize: 64, MSHRs: 8, IPC: ipc}
+}
+
+// InOrder1250 is the full-custom Piranha core (P8F): 1.25 GHz.
+func InOrder1250() Model {
+	return Model{Clock: sim.GHzX1000(1250), IssueWidth: 1, WindowSize: 1, MSHRs: 1, IPC: 1}
+}
+
+// InOrder returns whether the model is the blocking in-order pipeline.
+func (m Model) InOrder() bool { return m.WindowSize <= 1 }
+
+// pendingMiss is an outstanding OOO miss.
+type pendingMiss struct {
+	done       sim.Time
+	svc        l2.Svc
+	instrSince int32 // instructions retired since the miss issued
+}
+
+// Core is one processor's timing state.
+type Core struct {
+	ID    int
+	Model Model
+	Mem   MemSystem
+
+	// Breakdown accumulates the Figure-5 buckets.
+	Breakdown stats.Breakdown
+	// Instructions retired.
+	Instructions uint64
+	// Counters by service class.
+	SvcCounts [6]uint64
+
+	// OOO state.
+	pending     []pendingMiss
+	lastLoad    sim.Time // completion of the most recent load (dependences)
+	lastLoadSvc l2.Svc
+}
+
+// New returns a core bound to a memory system.
+func New(id int, m Model, mem MemSystem) *Core {
+	return &Core{ID: id, Model: m, Mem: mem}
+}
+
+// charge attributes a stall to the right bucket.
+func (c *Core) charge(svc l2.Svc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	switch svc {
+	case l2.SvcL2Hit, l2.SvcL2Fwd:
+		c.Breakdown.L2HitStall += d
+	case l2.SvcL1:
+		c.Breakdown.CPUBusy += d
+	default:
+		c.Breakdown.L2Miss += d
+	}
+}
+
+// Exec runs one op starting at now and returns when the core can proceed
+// to the next op of the same thread.
+func (c *Core) Exec(now sim.Time, op Op) sim.Time {
+	switch op.Kind {
+	case KCompute:
+		return c.compute(now, op.N)
+	case KIFetch:
+		return c.fetch(now, op)
+	case KLoad:
+		return c.load(now, op)
+	case KStore:
+		return c.store(now, op)
+	case KStoreHint:
+		// wh64: issue and continue; exclusivity arrives in background.
+		c.Mem.Access(now, c.ID, StoreHint, op.Addr)
+		return c.tickBusy(now, 1)
+	default:
+		// Kernel-level ops cost the core nothing here.
+		return now
+	}
+}
+
+// tickBusy charges n issue slots of busy time.
+func (c *Core) tickBusy(now sim.Time, n int32) sim.Time {
+	cycles := float64(n) / c.Model.IPC
+	d := sim.Time(cycles * float64(c.Model.Clock.Period))
+	if d <= 0 {
+		d = c.Model.Clock.Period
+	}
+	c.Breakdown.CPUBusy += d
+	c.Instructions += uint64(n)
+	return now + d
+}
+
+func (c *Core) compute(now sim.Time, n int32) sim.Time {
+	if n <= 0 {
+		return now
+	}
+	if c.Model.InOrder() {
+		return c.tickBusy(now, n)
+	}
+	return c.computeOOO(now, n)
+}
+
+// computeOOO retires instructions against the instruction window: while
+// a miss is outstanding, at most WindowSize instructions can issue past
+// it; the core then stalls until the miss completes. This is what limits
+// how much latency an out-of-order core can hide — on streaming code the
+// window covers only a fraction of the gap between misses.
+func (c *Core) computeOOO(now sim.Time, n int32) sim.Time {
+	for n > 0 {
+		if len(c.pending) == 0 {
+			return c.tickBusy(now, n)
+		}
+		oldest := c.pending[0]
+		if oldest.done <= now {
+			c.pending = c.pending[1:]
+			continue
+		}
+		room := int32(c.Model.WindowSize) - oldest.instrSince
+		if room > n {
+			room = n
+		}
+		if room > 0 {
+			now = c.tickBusy(now, room)
+			for i := range c.pending {
+				c.pending[i].instrSince += room
+			}
+			n -= room
+			continue
+		}
+		// The window is full behind the outstanding miss: stall until
+		// it completes.
+		c.charge(oldest.svc, oldest.done-now)
+		now = oldest.done
+		c.pending = c.pending[1:]
+	}
+	return now
+}
+
+func (c *Core) fetch(now sim.Time, op Op) sim.Time {
+	done, svc := c.Mem.Access(now, c.ID, Fetch, op.Addr)
+	if svc == l2.SvcL1 {
+		// Sequential fetch is pipelined; no visible cost.
+		return now
+	}
+	c.SvcCounts[svc]++
+	if c.Model.InOrder() {
+		c.charge(svc, done-now)
+		return done
+	}
+	// OOO front ends also stall on I-misses (fetch is in-order), but
+	// the window lets some latency overlap with retirement: model as a
+	// pending slot like a load the next compute run depends on.
+	c.charge(svc, done-now)
+	return done
+}
+
+func (c *Core) load(now sim.Time, op Op) sim.Time {
+	if !c.Model.InOrder() {
+		return c.loadOOO(now, op)
+	}
+	done, svc := c.Mem.Access(now, c.ID, Load, op.Addr)
+	c.SvcCounts[svc]++
+	if svc == l2.SvcL1 {
+		return c.busyHit(now, done)
+	}
+	// Blocking cache: the pipeline stalls for the whole miss.
+	c.Instructions++
+	c.charge(svc, done-now)
+	return done
+}
+
+// busyHit retires one instruction whose access hit the L1; any extra
+// time the memory system reported (e.g. a PAL-handled TLB refill) is
+// instruction execution, hence CPU-busy.
+func (c *Core) busyHit(now, done sim.Time) sim.Time {
+	end := c.tickBusy(now, 1)
+	if done > end {
+		c.Breakdown.CPUBusy += done - end
+		end = done
+	}
+	return end
+}
+
+func (c *Core) loadOOO(now sim.Time, op Op) sim.Time {
+	issue := now
+	if op.Dep && c.lastLoad > issue {
+		// Data-dependent on the previous load: cannot issue until the
+		// producer returns. This serialization is why OLTP gains
+		// little from out-of-order execution (paper §4).
+		c.charge(c.lastLoadSvc, c.lastLoad-issue)
+		issue = c.lastLoad
+	}
+	done, svc := c.Mem.Access(issue, c.ID, Load, op.Addr)
+	c.SvcCounts[svc]++
+	c.lastLoad, c.lastLoadSvc = done, svc
+	if svc == l2.SvcL1 {
+		return c.busyHit(issue, done)
+	}
+	// MSHR limit: if too many misses are outstanding, stall for the
+	// earliest to complete.
+	for len(c.pending) >= c.Model.MSHRs {
+		e := c.pending[0]
+		c.pending = c.pending[1:]
+		if e.done > issue {
+			c.charge(e.svc, e.done-issue)
+			issue = e.done
+		}
+	}
+	c.pending = append(c.pending, pendingMiss{done: done, svc: svc})
+	// The load issues in one slot; its latency hides unless the window
+	// fills behind it (retireWindow) or a dependent load consumes it.
+	return c.tickBusy(issue, 1)
+}
+
+func (c *Core) store(now sim.Time, op Op) sim.Time {
+	done, svc := c.Mem.Access(now, c.ID, Store, op.Addr)
+	c.SvcCounts[svc]++
+	if svc == l2.SvcL1 {
+		return c.busyHit(now, done)
+	}
+	if c.Model.InOrder() {
+		// The memory system returns store-buffer back-pressure only
+		// (the miss itself drains in the background); charge any wait.
+		c.Instructions++
+		c.charge(svc, done-now)
+		return done
+	}
+	// OOO: stores retire through the write buffer off the critical path.
+	return c.tickBusy(now, 1)
+}

@@ -1,0 +1,175 @@
+// Package ecc implements the single-error-correcting, double-error-detecting
+// (SECDED) memory code that Piranha computes at 256-bit granularity instead
+// of the conventional 64-bit granularity (paper §2.5.2).
+//
+// A SECDED code over k data bits needs r parity bits with 2^r >= k+r+1,
+// plus one overall-parity bit. For k=64 that is 8 bits per word, i.e.
+// 8 x 8 = 64 check bits per 64-byte line. For k=256 it is 9+1 = 10 bits per
+// word, i.e. 2 x 10 = 20 check bits per line — leaving 64-20 = 44 spare
+// bits per 64-byte line, which Piranha uses to store the directory entry
+// with virtually no memory overhead.
+package ecc
+
+import "math/bits"
+
+// DataBits is the ECC granularity in bits.
+const DataBits = 256
+
+// CheckBits is the number of check bits per 256-bit word
+// (9 Hamming bits + 1 overall parity).
+const CheckBits = 10
+
+// Word is a 256-bit data word, least-significant word first.
+type Word [4]uint64
+
+// Bit returns data bit i (0 <= i < 256).
+func (w Word) Bit(i int) int { return int(w[i>>6]>>(uint(i)&63)) & 1 }
+
+// Flip toggles data bit i and returns the result.
+func (w Word) Flip(i int) Word {
+	w[i>>6] ^= 1 << (uint(i) & 63)
+	return w
+}
+
+// Codeword carries a data word and its 10 check bits.
+type Codeword struct {
+	Data  Word
+	Check uint16 // bits 0..8: Hamming parities; bit 9: overall parity
+}
+
+// Result describes the outcome of decoding a codeword.
+type Result int
+
+// Decode outcomes.
+const (
+	OK            Result = iota // no error detected
+	CorrectedData               // a single data-bit error was corrected
+	CorrectedCheck
+	DoubleError // an uncorrectable (>=2 bit) error was detected
+)
+
+func (r Result) String() string {
+	switch r {
+	case OK:
+		return "ok"
+	case CorrectedData:
+		return "corrected-data"
+	case CorrectedCheck:
+		return "corrected-check"
+	case DoubleError:
+		return "double-error"
+	}
+	return "unknown"
+}
+
+// codePosition maps data bit i (0-based) to its 1-based position in the
+// Hamming codeword, skipping power-of-two positions which hold parity.
+var codePosition [DataBits]uint16
+
+// dataIndex is the inverse map: codeword position -> data bit index + 1
+// (0 means the position is a parity position).
+var dataIndex [512]uint16
+
+func init() {
+	pos := uint16(1)
+	for i := 0; i < DataBits; i++ {
+		for pos&(pos-1) == 0 { // skip powers of two (parity positions)
+			pos++
+		}
+		codePosition[i] = pos
+		dataIndex[pos] = uint16(i) + 1
+		pos++
+	}
+}
+
+// syndrome computes the 9-bit Hamming syndrome and the overall parity of
+// the data bits in w.
+func syndrome(w Word) (syn uint16, parity int) {
+	for i := 0; i < DataBits; i++ {
+		if w.Bit(i) == 1 {
+			syn ^= codePosition[i]
+			parity ^= 1
+		}
+	}
+	return syn, parity
+}
+
+// Encode computes the check bits for a data word.
+func Encode(d Word) Codeword {
+	syn, parity := syndrome(d)
+	// Overall parity covers data bits and the 9 Hamming bits.
+	overall := parity ^ parity9(syn)
+	return Codeword{Data: d, Check: syn | uint16(overall)<<9}
+}
+
+// parity9 returns the parity of the low 9 bits of s.
+func parity9(s uint16) int { return bits.OnesCount16(s&0x1ff) & 1 }
+
+// Decode verifies and, if possible, corrects a codeword. It returns the
+// (possibly corrected) data word and the decode result. This is standard
+// extended-Hamming decoding: the syndrome locates a single error, and the
+// overall parity distinguishes single (odd) from double (even) errors.
+func Decode(c Codeword) (Word, Result) {
+	recvSyn := c.Check & 0x1ff
+	recvOverall := int(c.Check>>9) & 1
+
+	dataSyn, dataParity := syndrome(c.Data)
+	synDiff := recvSyn ^ dataSyn
+	// Recompute the overall parity over the *received* codeword bits
+	// (data + received Hamming bits) and compare with the stored bit.
+	overallDiff := (dataParity ^ parity9(recvSyn)) ^ recvOverall
+
+	switch {
+	case synDiff == 0 && overallDiff == 0:
+		return c.Data, OK
+	case overallDiff == 1 && synDiff == 0:
+		// The overall-parity bit itself flipped.
+		return c.Data, CorrectedCheck
+	case overallDiff == 1:
+		// Odd number of flips with a nonzero syndrome: single-bit error
+		// at codeword position synDiff.
+		if di := dataIndex[synDiff]; di != 0 {
+			return c.Data.Flip(int(di - 1)), CorrectedData
+		}
+		if synDiff&(synDiff-1) == 0 {
+			// One of the Hamming parity bits flipped.
+			return c.Data, CorrectedCheck
+		}
+		// Syndrome points outside the codeword: multi-bit error.
+		return c.Data, DoubleError
+	default:
+		// Even number of flips, nonzero syndrome: uncorrectable.
+		return c.Data, DoubleError
+	}
+}
+
+// SpareBitsPerLine returns the number of check-storage bits left unused in
+// a memory line of lineBytes when ECC is computed at granularity gran bits
+// instead of the conventional 64-bit granularity. For Piranha's 64-byte
+// lines and 256-bit granularity this is 44, the budget that holds the
+// directory entry.
+func SpareBitsPerLine(lineBytes, gran int) int {
+	dataBits := lineBytes * 8
+	budget := (dataBits / 64) * 8 // conventional 8 check bits per 64
+	words := dataBits / gran
+	need := words * checkBitsFor(gran)
+	return budget - need
+}
+
+// checkBitsFor returns SECDED check bits for a k-bit word.
+func checkBitsFor(k int) int {
+	r := 0
+	for (1 << r) < k+r+1 {
+		r++
+	}
+	return r + 1 // +1 overall parity
+}
+
+// popcount64x4 counts set bits in a Word (used by tests and the directory).
+func popcount64x4(w Word) int {
+	return bits.OnesCount64(w[0]) + bits.OnesCount64(w[1]) +
+		bits.OnesCount64(w[2]) + bits.OnesCount64(w[3])
+}
+
+// Weight returns the number of set data bits in the word.
+func (w Word) Weight() int { return popcount64x4(w) }

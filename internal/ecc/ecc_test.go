@@ -1,0 +1,160 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"piranha/internal/sim"
+)
+
+func randWord(r *sim.RNG) Word {
+	return Word{r.Uint64(), r.Uint64(), r.Uint64(), r.Uint64()}
+}
+
+func TestEncodeDecodeClean(t *testing.T) {
+	r := sim.NewRNG(1)
+	for i := 0; i < 1000; i++ {
+		w := randWord(r)
+		c := Encode(w)
+		got, res := Decode(c)
+		if res != OK || got != w {
+			t.Fatalf("clean decode: res=%v", res)
+		}
+	}
+}
+
+func TestSingleDataBitCorrection(t *testing.T) {
+	r := sim.NewRNG(2)
+	for i := 0; i < 200; i++ {
+		w := randWord(r)
+		c := Encode(w)
+		bit := r.Intn(DataBits)
+		c.Data = c.Data.Flip(bit)
+		got, res := Decode(c)
+		if res != CorrectedData {
+			t.Fatalf("bit %d: res=%v, want corrected-data", bit, res)
+		}
+		if got != w {
+			t.Fatalf("bit %d: correction produced wrong word", bit)
+		}
+	}
+}
+
+func TestEverySingleDataBitCorrects(t *testing.T) {
+	w := Word{0xdeadbeefcafef00d, 0x0123456789abcdef, ^uint64(0), 0}
+	c := Encode(w)
+	for bit := 0; bit < DataBits; bit++ {
+		bad := c
+		bad.Data = bad.Data.Flip(bit)
+		got, res := Decode(bad)
+		if res != CorrectedData || got != w {
+			t.Fatalf("bit %d not corrected (res=%v)", bit, res)
+		}
+	}
+}
+
+func TestSingleCheckBitCorrection(t *testing.T) {
+	w := Word{1, 2, 3, 4}
+	c := Encode(w)
+	for b := 0; b < CheckBits; b++ {
+		bad := c
+		bad.Check ^= 1 << b
+		got, res := Decode(bad)
+		if res != CorrectedCheck {
+			t.Fatalf("check bit %d: res=%v, want corrected-check", b, res)
+		}
+		if got != w {
+			t.Fatalf("check bit %d: data corrupted by correction", b)
+		}
+	}
+}
+
+func TestDoubleErrorDetection(t *testing.T) {
+	r := sim.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		w := randWord(r)
+		c := Encode(w)
+		b1 := r.Intn(DataBits)
+		b2 := r.Intn(DataBits)
+		for b2 == b1 {
+			b2 = r.Intn(DataBits)
+		}
+		c.Data = c.Data.Flip(b1).Flip(b2)
+		_, res := Decode(c)
+		if res != DoubleError {
+			t.Fatalf("double error (%d,%d) decoded as %v", b1, b2, res)
+		}
+	}
+}
+
+func TestDoubleErrorDataPlusCheck(t *testing.T) {
+	w := Word{0xffff, 0, 0, 0xabc}
+	c := Encode(w)
+	for b := 0; b < CheckBits; b++ {
+		bad := c
+		bad.Data = bad.Data.Flip(100)
+		bad.Check ^= 1 << b
+		_, res := Decode(bad)
+		if res != DoubleError {
+			t.Fatalf("data+check(%d) double error decoded as %v", b, res)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint64, bitSel uint16) bool {
+		w := Word{a, b, c, d}
+		cw := Encode(w)
+		// Clean round trip.
+		if got, res := Decode(cw); res != OK || got != w {
+			return false
+		}
+		// Single-flip round trip.
+		bad := cw
+		bad.Data = bad.Data.Flip(int(bitSel) % DataBits)
+		got, res := Decode(bad)
+		return res == CorrectedData && got == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpareBitsPerLine(t *testing.T) {
+	// The paper's headline numbers: 256-bit granularity leaves 44 bits
+	// per 64-byte line for the directory; 64-bit granularity leaves none.
+	if got := SpareBitsPerLine(64, 256); got != 44 {
+		t.Fatalf("spare bits at 256b granularity = %d, want 44", got)
+	}
+	if got := SpareBitsPerLine(64, 64); got != 0 {
+		t.Fatalf("spare bits at 64b granularity = %d, want 0", got)
+	}
+}
+
+func TestWordBitOps(t *testing.T) {
+	var w Word
+	w = w.Flip(0).Flip(63).Flip(64).Flip(255)
+	if w.Bit(0) != 1 || w.Bit(63) != 1 || w.Bit(64) != 1 || w.Bit(255) != 1 {
+		t.Fatal("flip/bit mismatch")
+	}
+	if w.Bit(1) != 0 || w.Bit(200) != 0 {
+		t.Fatal("unexpected set bit")
+	}
+	if w.Weight() != 4 {
+		t.Fatalf("weight %d, want 4", w.Weight())
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	w := Word{0xdeadbeef, 0xcafe, 0xf00d, 0x1234}
+	for i := 0; i < b.N; i++ {
+		Encode(w)
+	}
+}
+
+func BenchmarkDecodeClean(b *testing.B) {
+	c := Encode(Word{1, 2, 3, 4})
+	for i := 0; i < b.N; i++ {
+		Decode(c)
+	}
+}

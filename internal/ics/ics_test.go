@@ -1,0 +1,68 @@
+package ics
+
+import (
+	"testing"
+
+	"piranha/internal/sim"
+)
+
+func TestPeakBandwidth(t *testing.T) {
+	s := New(DefaultConfig(sim.MHz(500)))
+	// 8 datapaths x 8 bytes x 500e6 cycles = 32 GB/s (paper §2.2).
+	if got := s.PeakBandwidth(); got != 32_000_000_000 {
+		t.Fatalf("peak bandwidth %d, want 32e9", got)
+	}
+}
+
+func TestTransferOccupancy(t *testing.T) {
+	clock := sim.MHz(500)
+	s := New(Config{Datapaths: 1, Clock: clock, HintCycles: 1})
+	// 64-byte line = 8 words = 8 cycles (+1 unhinted), no load: exact.
+	done := s.Transfer(0, Low, 64, true)
+	if done != clock.Cycles(8) {
+		t.Fatalf("hinted 64B transfer took %d ps, want %d", done, clock.Cycles(8))
+	}
+	done2 := s.Transfer(1*sim.Microsecond, High, 64, false)
+	if done2-1*sim.Microsecond < clock.Cycles(9) {
+		t.Fatalf("unhinted transfer took %d ps, want >= %d", done2-1*sim.Microsecond, clock.Cycles(9))
+	}
+	if s.Transfers[Low] != 1 || s.Transfers[High] != 1 {
+		t.Fatalf("lane counters %v", s.Transfers)
+	}
+	if s.Bytes[Low] != 64 {
+		t.Fatalf("lane bytes %v", s.Bytes)
+	}
+}
+
+func TestSaturationBackPressure(t *testing.T) {
+	clock := sim.MHz(500)
+	// One datapath, arrivals at 100% of its bandwidth: queueing delay
+	// must appear (the Server model derives it from utilization).
+	s := New(Config{Datapaths: 1, Clock: clock, HintCycles: 0})
+	now := sim.Time(0)
+	for i := 0; i < 5000; i++ {
+		s.Transfer(now, Low, 64, true)
+		now += clock.Cycles(8)
+	}
+	if s.AvgWait() <= 0 {
+		t.Fatal("saturated switch shows no queueing delay")
+	}
+	// The full 8-path switch at the same absolute load is nearly free.
+	s8 := New(DefaultConfig(clock))
+	now = 0
+	for i := 0; i < 5000; i++ {
+		s8.Transfer(now, Low, 64, true)
+		now += clock.Cycles(8)
+	}
+	if s8.AvgWait() >= s.AvgWait()/4 {
+		t.Fatalf("8 datapaths (%v) should wait far less than 1 (%v)", s8.AvgWait(), s.AvgWait())
+	}
+}
+
+func TestZeroSizeTransfer(t *testing.T) {
+	s := New(DefaultConfig(sim.MHz(500)))
+	// Control messages still occupy at least one cycle.
+	if done := s.Transfer(0, High, 0, true); done != sim.MHz(500).Cycles(1) {
+		t.Fatalf("zero-size transfer took %d", done)
+	}
+}

@@ -1,0 +1,132 @@
+// Package ionode models the Piranha I/O chip (paper §2, Figure 2): a
+// stripped-down processing chip with a single CPU, a single L2 bank and
+// memory controller, and a two-channel router (no routing table needed).
+// The PCI/X interface is fronted by an instance of the first-level data
+// cache module, which gives the device address translation, access to
+// I/O-space registers, interrupt generation — and, critically, makes DMA
+// a full participant in the global coherence protocol: device writes
+// invalidate cached copies exactly like CPU stores.
+//
+// The on-chip CPU exists so device drivers can be scheduled next to the
+// device (low-latency I/O) or interpret accesses to virtual control
+// registers; it is indistinguishable from a processing-chip CPU to
+// software.
+package ionode
+
+import (
+	"piranha/internal/cache"
+	"piranha/internal/core"
+	"piranha/internal/cpu"
+	"piranha/internal/l1"
+	"piranha/internal/l2"
+	"piranha/internal/memctl"
+	"piranha/internal/sim"
+)
+
+// Config describes the I/O chip.
+type Config struct {
+	// Core is the single on-chip CPU (same design as the processing
+	// chip's cores).
+	Core cpu.Model
+	// L1 is the cache geometry (also used by the PCI/X-front dL1).
+	L1 l1.Config
+	// L2Bank is the single bank's share of the L2 design.
+	L2  l2.Config
+	Mem memctl.Config
+	// Disk timing.
+	DiskLatency   sim.Time // seek + controller
+	DiskBandwidth int64    // bytes/sec
+}
+
+// DefaultConfig returns the prototype I/O chip: one 500 MHz core, one
+// 128 KB L2 bank, one Rambus channel, and a disk with NV-cache-class
+// latency.
+func DefaultConfig() Config {
+	l2cfg := l2.DefaultConfig()
+	l2cfg.Banks = 1
+	l2cfg.SizeBytes = 128 << 10
+	return Config{
+		Core:          cpu.InOrder500(),
+		L1:            l1.DefaultConfig(),
+		L2:            l2cfg,
+		Mem:           memctl.DefaultConfig(),
+		DiskLatency:   200 * sim.Microsecond,
+		DiskBandwidth: 160 << 20,
+	}
+}
+
+// Chip is the assembled I/O node.
+type Chip struct {
+	Cfg Config
+	// Node is the underlying single-CPU chip (CPU 0 is the driver CPU).
+	Node *core.Chip
+	// PCI is the dL1 instance fronting the PCI/X interface.
+	PCI *l1.Cache
+
+	disk sim.Resource
+
+	// Stats.
+	DMALines   uint64
+	Interrupts uint64
+	DiskOps    uint64
+}
+
+// New builds an I/O chip wired to the coherence domain via remote
+// (l2.LocalOnly for a standalone chip, a pe fabric adapter otherwise).
+func New(cfg Config, remote l2.Remote) *Chip {
+	chipCfg := core.ChipConfig{
+		CPUs:            1,
+		Core:            cfg.Core,
+		L1:              cfg.L1,
+		L2:              cfg.L2,
+		Mem:             cfg.Mem,
+		TLBRefillCycles: 30,
+	}
+	node := core.NewChip(chipCfg, remote)
+	c := &Chip{Cfg: cfg, Node: node}
+	// The PCI/X-front dL1 is an additional client of the (single) L2
+	// bank, exactly like another core's data cache.
+	c.PCI = l1.New(l1.Data, 1, 2, cfg.L1)
+	node.L2.AddClient(c.PCI)
+	return c
+}
+
+// Channels returns the I/O node's router channel count (two, for
+// redundancy, vs four on processing nodes).
+func (c *Chip) Channels() int { return 2 }
+
+// DiskRead models a device read of n bytes completing into the buffer at
+// dst: the disk transfers, the PCI/X engine DMAs each line through the
+// coherence protocol (invalidating any cached copies), and an interrupt
+// is raised for the driver CPU. It returns the interrupt time.
+func (c *Chip) DiskRead(now sim.Time, dst cache.Addr, n int) sim.Time {
+	c.DiskOps++
+	xfer := sim.Time(int64(n) * int64(sim.Second) / c.Cfg.DiskBandwidth)
+	ready := c.disk.Acquire(now+c.Cfg.DiskLatency, xfer)
+	t := ready
+	for off := 0; off < n; off += cache.LineBytes {
+		// DMA write: exclusive ownership without data fetch (the
+		// device overwrites whole lines), then the data lands.
+		done, _ := c.Node.L2.Access(t, c.PCI, l2.ReadExNoData, dst+cache.Addr(off))
+		t = done
+		c.DMALines++
+	}
+	c.Interrupts++
+	return t
+}
+
+// DiskWrite models writing n bytes from the buffer at src to the device:
+// the DMA engine reads the lines coherently (forwarding from dirty
+// caches as needed) and streams them to the disk.
+func (c *Chip) DiskWrite(now sim.Time, src cache.Addr, n int) sim.Time {
+	c.DiskOps++
+	t := now
+	for off := 0; off < n; off += cache.LineBytes {
+		done, _ := c.Node.L2.Access(t, c.PCI, l2.Read, src+cache.Addr(off))
+		t = done
+	}
+	xfer := sim.Time(int64(n) * int64(sim.Second) / c.Cfg.DiskBandwidth)
+	done := c.disk.Acquire(t+c.Cfg.DiskLatency, xfer)
+	c.Interrupts++
+	return done
+}

@@ -1,0 +1,88 @@
+package ionode
+
+import (
+	"testing"
+
+	"piranha/internal/cache"
+	"piranha/internal/cpu"
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+)
+
+func TestIOChipShape(t *testing.T) {
+	c := New(DefaultConfig(), l2.LocalOnly{})
+	if len(c.Node.Cores) != 1 {
+		t.Fatalf("I/O chip has %d CPUs, want 1", len(c.Node.Cores))
+	}
+	if len(c.Node.MCs) != 1 {
+		t.Fatalf("I/O chip has %d memory controllers, want 1", len(c.Node.MCs))
+	}
+	if c.Channels() != 2 {
+		t.Fatalf("I/O chip has %d channels, want 2", c.Channels())
+	}
+}
+
+func TestDMAIsCoherent(t *testing.T) {
+	c := New(DefaultConfig(), l2.LocalOnly{})
+	buf := cache.Addr(0x100000)
+	// The driver CPU caches the buffer dirty.
+	c.Node.Access(0, 0, cpu.Store, buf)
+	if c.Node.DL1[0].State(buf.Line()) != cache.Modified {
+		t.Fatal("setup: buffer not dirty in CPU cache")
+	}
+	// Device DMA overwrites the buffer: the CPU's copy must die.
+	done := c.DiskRead(1*sim.Microsecond, buf, 4096)
+	if done <= 1*sim.Microsecond {
+		t.Fatal("no disk latency")
+	}
+	if c.Node.DL1[0].State(buf.Line()) != cache.Invalid {
+		t.Fatal("DMA write did not invalidate the CPU's cached copy")
+	}
+	if c.DMALines != 4096/cache.LineBytes {
+		t.Fatalf("DMA lines %d", c.DMALines)
+	}
+	if err := c.Node.L2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskWriteReadsCoherently(t *testing.T) {
+	c := New(DefaultConfig(), l2.LocalOnly{})
+	buf := cache.Addr(0x200000)
+	c.Node.Access(0, 0, cpu.Store, buf) // dirty in CPU cache
+	done := c.DiskWrite(0, buf, 128)
+	if done < c.Cfg.DiskLatency {
+		t.Fatal("write returned before the disk op")
+	}
+	// The CPU keeps its copy (reads downgrade, not invalidate).
+	if st := c.Node.DL1[0].State(buf.Line()); st == cache.Invalid {
+		t.Fatal("device read should not invalidate")
+	}
+	if err := c.Node.L2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskSerializes(t *testing.T) {
+	c := New(DefaultConfig(), l2.LocalOnly{})
+	a := c.DiskRead(0, 0x300000, 8192)
+	b := c.DiskRead(0, 0x400000, 8192)
+	if b <= a {
+		t.Fatal("two disk ops did not serialize on the device")
+	}
+	if c.DiskOps != 2 || c.Interrupts != 2 {
+		t.Fatalf("counters %+v", *c)
+	}
+}
+
+func TestDriverCPURunsCode(t *testing.T) {
+	// The I/O chip's CPU is a normal core: it can execute ops against
+	// the chip's hierarchy (device-driver scheduling per the paper).
+	c := New(DefaultConfig(), l2.LocalOnly{})
+	core0 := c.Node.Cores[0]
+	end := core0.Exec(0, cpu.Op{Kind: cpu.KCompute, N: 1000})
+	end = core0.Exec(end, cpu.Op{Kind: cpu.KLoad, Addr: 0x500000})
+	if end <= 0 || core0.Instructions == 0 {
+		t.Fatal("driver CPU inert")
+	}
+}

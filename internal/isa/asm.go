@@ -1,0 +1,225 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled code image plus symbols.
+type Program struct {
+	Base   uint64 // load address of the first instruction
+	Words  []uint32
+	Labels map[string]uint64
+}
+
+// Assemble translates Alpha-subset assembly. Syntax (one instruction per
+// line, ';' or '#' comments):
+//
+//	loop:   ldq   r1, 8(r2)       ; memory format: disp(base)
+//	        addq  r1, 1, r1       ; operate, register or 0..255 literal
+//	        stq   r1, 8(r2)
+//	        subq  r3, 1, r3
+//	        bne   r3, loop        ; branches take a label
+//	        wh64  (r4)
+//	        jsr   r26, (r5)
+//	        ret   (r26)
+//	        halt
+//
+// Assembly is position-dependent with Base as the load address.
+func Assemble(src string, base uint64) (*Program, error) {
+	type pend struct {
+		line  int
+		inst  Inst
+		label string // branch target to resolve
+		addr  uint64
+	}
+	labels := map[string]uint64{}
+	var insts []pend
+	addr := base
+
+	parseReg := func(tok string) (Reg, error) {
+		tok = strings.TrimSpace(tok)
+		if tok == "zero" {
+			return Zero, nil
+		}
+		if !strings.HasPrefix(tok, "r") {
+			return 0, fmt.Errorf("expected register, got %q", tok)
+		}
+		v, err := strconv.Atoi(tok[1:])
+		if err != nil || v < 0 || v > 31 {
+			return 0, fmt.Errorf("bad register %q", tok)
+		}
+		return Reg(v), nil
+	}
+	parseMem := func(tok string) (Reg, int32, error) {
+		tok = strings.TrimSpace(tok)
+		i := strings.IndexByte(tok, '(')
+		if i < 0 || !strings.HasSuffix(tok, ")") {
+			return 0, 0, fmt.Errorf("expected disp(reg), got %q", tok)
+		}
+		disp := int64(0)
+		if d := strings.TrimSpace(tok[:i]); d != "" {
+			var err error
+			disp, err = strconv.ParseInt(d, 0, 32)
+			if err != nil || disp < -32768 || disp > 32767 {
+				return 0, 0, fmt.Errorf("bad displacement %q", d)
+			}
+		}
+		r, err := parseReg(tok[i+1 : len(tok)-1])
+		return r, int32(disp), err
+	}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		for _, c := range []string{";", "#"} {
+			if i := strings.Index(line, c); i >= 0 {
+				line = line[:i]
+			}
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if _, dup := labels[name]; dup || name == "" {
+				return nil, fmt.Errorf("line %d: bad or duplicate label %q", ln+1, name)
+			}
+			labels[name] = addr
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnem := strings.ToLower(fields[0])
+		rest := ""
+		if len(fields) > 1 {
+			rest = fields[1]
+		}
+		args := strings.Split(rest, ",")
+		for i := range args {
+			args[i] = strings.TrimSpace(args[i])
+		}
+		if rest == "" {
+			args = nil
+		}
+
+		p := pend{line: ln + 1, addr: addr}
+		var err error
+		switch mnem {
+		case "halt":
+			p.inst.Mnem = HALT
+		case "lda", "ldah", "ldl", "ldq", "stl", "stq", "ldl_l", "ldq_l", "stl_c", "stq_c":
+			mm := map[string]Mnemonic{
+				"lda": LDA, "ldah": LDAH, "ldl": LDL, "ldq": LDQ,
+				"stl": STL, "stq": STQ, "ldl_l": LDLl, "ldq_l": LDQl,
+				"stl_c": STLc, "stq_c": STQc,
+			}
+			p.inst.Mnem = mm[mnem]
+			if len(args) != 2 {
+				err = fmt.Errorf("%s needs ra, disp(rb)", mnem)
+				break
+			}
+			if p.inst.Ra, err = parseReg(args[0]); err != nil {
+				break
+			}
+			p.inst.Rb, p.inst.Disp, err = parseMem(args[1])
+		case "wh64":
+			p.inst.Mnem = WH64
+			if len(args) != 1 {
+				err = fmt.Errorf("wh64 needs (rb)")
+				break
+			}
+			p.inst.Rb, _, err = parseMem(args[0])
+		case "addq", "subq", "mulq", "and", "bis", "xor", "sll", "srl", "cmpeq", "cmplt", "cmple":
+			mm := map[string]Mnemonic{
+				"addq": ADDQ, "subq": SUBQ, "mulq": MULQ, "and": AND,
+				"bis": BIS, "xor": XOR, "sll": SLL, "srl": SRL,
+				"cmpeq": CMPEQ, "cmplt": CMPLT, "cmple": CMPLE,
+			}
+			p.inst.Mnem = mm[mnem]
+			if len(args) != 3 {
+				err = fmt.Errorf("%s needs ra, rb|lit, rc", mnem)
+				break
+			}
+			if p.inst.Ra, err = parseReg(args[0]); err != nil {
+				break
+			}
+			if v, lerr := strconv.ParseUint(args[1], 0, 8); lerr == nil && !strings.HasPrefix(args[1], "r") {
+				p.inst.Lit = uint8(v)
+				p.inst.LitValid = true
+			} else if p.inst.Rb, err = parseReg(args[1]); err != nil {
+				break
+			}
+			p.inst.Rc, err = parseReg(args[2])
+		case "br", "bsr", "beq", "bne", "blt", "bgt":
+			mm := map[string]Mnemonic{"br": BR, "bsr": BSR, "beq": BEQ, "bne": BNE, "blt": BLT, "bgt": BGT}
+			p.inst.Mnem = mm[mnem]
+			switch len(args) {
+			case 1: // br label
+				p.inst.Ra = Zero
+				if mnem == "bsr" {
+					p.inst.Ra = RA
+				}
+				p.label = args[0]
+			case 2: // beq r1, label
+				if p.inst.Ra, err = parseReg(args[0]); err == nil {
+					p.label = args[1]
+				}
+			default:
+				err = fmt.Errorf("%s needs [ra,] label", mnem)
+			}
+		case "jmp", "jsr", "ret":
+			mm := map[string]Mnemonic{"jmp": JMP, "jsr": JSR, "ret": RET}
+			p.inst.Mnem = mm[mnem]
+			switch len(args) {
+			case 1: // jmp (rb) / ret (rb)
+				p.inst.Ra = Zero
+				if mnem == "ret" {
+					p.inst.Rb = RA
+					if args[0] != "" {
+						p.inst.Rb, _, err = parseMem(args[0])
+					}
+					break
+				}
+				p.inst.Rb, _, err = parseMem(args[0])
+			case 2: // jsr r26, (rb)
+				if p.inst.Ra, err = parseReg(args[0]); err == nil {
+					p.inst.Rb, _, err = parseMem(args[1])
+				}
+			default:
+				err = fmt.Errorf("%s needs [ra,] (rb)", mnem)
+			}
+		default:
+			err = fmt.Errorf("unknown mnemonic %q", mnem)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		insts = append(insts, p)
+		addr += 4
+	}
+
+	prog := &Program{Base: base, Labels: labels}
+	for _, p := range insts {
+		if p.label != "" {
+			target, ok := labels[p.label]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown label %q", p.line, p.label)
+			}
+			p.inst.Disp = int32((int64(target) - int64(p.addr) - 4) / 4)
+		}
+		w, err := Encode(p.inst)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", p.line, err)
+		}
+		prog.Words = append(prog.Words, w)
+	}
+	return prog, nil
+}

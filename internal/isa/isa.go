@@ -1,0 +1,312 @@
+// Package isa implements a faithful subset of the Alpha AXP instruction
+// set (paper §2.1: the Piranha core "uses a single-issue, in-order design
+// capable of executing the Alpha instruction set"): 32-bit instructions
+// with real Alpha opcodes and formats, an assembler/disassembler, and a
+// functional interpreter whose fetch/load/store stream drives the memory
+// hierarchy for microbenchmarks (pointer chase, stream) and examples.
+//
+// The subset covers the integer architecture the simulator needs:
+// memory format (lda/ldah/ldl/ldq/stl/stq, wh64), operate format with
+// register and literal operands (addq, subq, mulq, and, bis, xor, sll,
+// srl, cmpeq, cmplt, cmple), branch format (br, bsr, beq, bne, blt, bgt),
+// memory-branch format (jmp, jsr, ret) and call_pal halt.
+package isa
+
+import "fmt"
+
+// Reg is an Alpha integer register. R31 reads as zero and ignores writes.
+type Reg uint8
+
+// Zero is the hardwired zero register.
+const Zero Reg = 31
+
+// RA is the conventional return-address register.
+const RA Reg = 26
+
+// SP is the conventional stack pointer.
+const SP Reg = 30
+
+// Alpha opcode values (bits 31..26).
+const (
+	opCallPal = 0x00
+	opLDA     = 0x08
+	opLDAH    = 0x09
+	opLDL     = 0x28
+	opLDQ     = 0x29
+	opLDLl    = 0x2A // ldl_l
+	opLDQl    = 0x2B // ldq_l
+	opSTL     = 0x2C
+	opSTQ     = 0x2D
+	opSTLc    = 0x2E // stl_c
+	opSTQc    = 0x2F // stq_c
+	opINTA    = 0x10 // addq/subq/cmp*
+	opINTL    = 0x11 // and/bis/xor
+	opINTS    = 0x12 // sll/srl
+	opINTM    = 0x13 // mulq
+	opMISC    = 0x18 // wh64
+	opJSR     = 0x1A
+	opBR      = 0x30
+	opBSR     = 0x34
+	opBEQ     = 0x39
+	opBLT     = 0x3A
+	opBNE     = 0x3D
+	opBGT     = 0x3F
+)
+
+// Operate-format function codes.
+const (
+	fnADDQ  = 0x20
+	fnSUBQ  = 0x29
+	fnCMPEQ = 0x2D
+	fnCMPLT = 0x4D
+	fnCMPLE = 0x6D
+	fnAND   = 0x00
+	fnBIS   = 0x20
+	fnXOR   = 0x40
+	fnSLL   = 0x39
+	fnSRL   = 0x34
+	fnMULQ  = 0x20
+	fnWH64  = 0xF800 >> 4 // memory-format function field for wh64
+)
+
+// Mnemonic identifies a decoded instruction.
+type Mnemonic uint8
+
+// Supported mnemonics.
+const (
+	HALT Mnemonic = iota
+	LDA
+	LDAH
+	LDL
+	LDQ
+	LDLl // ldl_l: load longword locked
+	LDQl // ldq_l: load quadword locked
+	STL
+	STQ
+	STLc // stl_c: store longword conditional
+	STQc // stq_c: store quadword conditional
+	WH64
+	ADDQ
+	SUBQ
+	MULQ
+	AND
+	BIS
+	XOR
+	SLL
+	SRL
+	CMPEQ
+	CMPLT
+	CMPLE
+	BR
+	BSR
+	BEQ
+	BNE
+	BLT
+	BGT
+	JMP
+	JSR
+	RET
+)
+
+var mnemNames = map[Mnemonic]string{
+	HALT: "halt", LDA: "lda", LDAH: "ldah", LDL: "ldl", LDQ: "ldq",
+	LDLl: "ldl_l", LDQl: "ldq_l", STLc: "stl_c", STQc: "stq_c",
+	STL: "stl", STQ: "stq", WH64: "wh64", ADDQ: "addq", SUBQ: "subq",
+	MULQ: "mulq", AND: "and", BIS: "bis", XOR: "xor", SLL: "sll",
+	SRL: "srl", CMPEQ: "cmpeq", CMPLT: "cmplt", CMPLE: "cmple",
+	BR: "br", BSR: "bsr", BEQ: "beq", BNE: "bne", BLT: "blt", BGT: "bgt",
+	JMP: "jmp", JSR: "jsr", RET: "ret",
+}
+
+func (m Mnemonic) String() string { return mnemNames[m] }
+
+// Inst is a decoded instruction.
+type Inst struct {
+	Mnem Mnemonic
+	Ra   Reg
+	Rb   Reg
+	Rc   Reg
+	// Disp is the sign-extended 16-bit memory displacement or the
+	// 21-bit branch displacement (in instructions).
+	Disp int32
+	// Lit is the 8-bit literal for operate format; LitValid selects it
+	// over Rb.
+	Lit      uint8
+	LitValid bool
+}
+
+// Encode packs an instruction into its 32-bit Alpha encoding.
+func Encode(in Inst) (uint32, error) {
+	mem := func(op uint32) uint32 {
+		return op<<26 | uint32(in.Ra)<<21 | uint32(in.Rb)<<16 | uint32(uint16(in.Disp))
+	}
+	operate := func(op, fn uint32) uint32 {
+		w := op<<26 | uint32(in.Ra)<<21 | uint32(in.Rc)
+		if in.LitValid {
+			return w | uint32(in.Lit)<<13 | 1<<12 | fn<<5
+		}
+		return w | uint32(in.Rb)<<16 | fn<<5
+	}
+	branch := func(op uint32) (uint32, error) {
+		if in.Disp < -(1<<20) || in.Disp >= 1<<20 {
+			return 0, fmt.Errorf("isa: branch displacement %d out of range", in.Disp)
+		}
+		return op<<26 | uint32(in.Ra)<<21 | uint32(in.Disp)&0x1fffff, nil
+	}
+	switch in.Mnem {
+	case HALT:
+		return opCallPal << 26, nil
+	case LDA:
+		return mem(opLDA), nil
+	case LDAH:
+		return mem(opLDAH), nil
+	case LDL:
+		return mem(opLDL), nil
+	case LDQ:
+		return mem(opLDQ), nil
+	case LDLl:
+		return mem(opLDLl), nil
+	case LDQl:
+		return mem(opLDQl), nil
+	case STL:
+		return mem(opSTL), nil
+	case STQ:
+		return mem(opSTQ), nil
+	case STLc:
+		return mem(opSTLc), nil
+	case STQc:
+		return mem(opSTQc), nil
+	case WH64:
+		return opMISC<<26 | uint32(in.Rb)<<16 | 0xF800, nil
+	case ADDQ:
+		return operate(opINTA, fnADDQ), nil
+	case SUBQ:
+		return operate(opINTA, fnSUBQ), nil
+	case CMPEQ:
+		return operate(opINTA, fnCMPEQ), nil
+	case CMPLT:
+		return operate(opINTA, fnCMPLT), nil
+	case CMPLE:
+		return operate(opINTA, fnCMPLE), nil
+	case AND:
+		return operate(opINTL, fnAND), nil
+	case BIS:
+		return operate(opINTL, fnBIS), nil
+	case XOR:
+		return operate(opINTL, fnXOR), nil
+	case SLL:
+		return operate(opINTS, fnSLL), nil
+	case SRL:
+		return operate(opINTS, fnSRL), nil
+	case MULQ:
+		return operate(opINTM, fnMULQ), nil
+	case BR:
+		return branch(opBR)
+	case BSR:
+		return branch(opBSR)
+	case BEQ:
+		return branch(opBEQ)
+	case BNE:
+		return branch(opBNE)
+	case BLT:
+		return branch(opBLT)
+	case BGT:
+		return branch(opBGT)
+	case JMP, RET:
+		return opJSR<<26 | uint32(in.Ra)<<21 | uint32(in.Rb)<<16, nil
+	case JSR:
+		return opJSR<<26 | uint32(in.Ra)<<21 | uint32(in.Rb)<<16 | 1<<14, nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", in.Mnem)
+}
+
+// Decode unpacks a 32-bit word.
+func Decode(w uint32) (Inst, error) {
+	op := w >> 26
+	ra := Reg(w >> 21 & 31)
+	rb := Reg(w >> 16 & 31)
+	in := Inst{Ra: ra, Rb: rb}
+	memDisp := int32(int16(w & 0xffff))
+	brDisp := int32(w&0x1fffff) << 11 >> 11 // sign-extend 21 bits
+
+	switch op {
+	case opCallPal:
+		in.Mnem = HALT
+		return in, nil
+	case opLDA, opLDAH, opLDL, opLDQ, opLDLl, opLDQl, opSTL, opSTQ, opSTLc, opSTQc:
+		in.Disp = memDisp
+		switch op {
+		case opLDA:
+			in.Mnem = LDA
+		case opLDAH:
+			in.Mnem = LDAH
+		case opLDL:
+			in.Mnem = LDL
+		case opLDQ:
+			in.Mnem = LDQ
+		case opLDLl:
+			in.Mnem = LDLl
+		case opLDQl:
+			in.Mnem = LDQl
+		case opSTL:
+			in.Mnem = STL
+		case opSTQ:
+			in.Mnem = STQ
+		case opSTLc:
+			in.Mnem = STLc
+		case opSTQc:
+			in.Mnem = STQc
+		}
+		return in, nil
+	case opMISC:
+		if w&0xffff == 0xF800 {
+			in.Mnem = WH64
+			return in, nil
+		}
+	case opINTA, opINTL, opINTS, opINTM:
+		fn := w >> 5 & 0x7f
+		in.Rc = Reg(w & 31)
+		if w&(1<<12) != 0 {
+			in.LitValid = true
+			in.Lit = uint8(w >> 13 & 0xff)
+		}
+		type key struct{ op, fn uint32 }
+		m := map[key]Mnemonic{
+			{opINTA, fnADDQ}: ADDQ, {opINTA, fnSUBQ}: SUBQ,
+			{opINTA, fnCMPEQ}: CMPEQ, {opINTA, fnCMPLT}: CMPLT,
+			{opINTA, fnCMPLE}: CMPLE,
+			{opINTL, fnAND}:   AND, {opINTL, fnBIS}: BIS, {opINTL, fnXOR}: XOR,
+			{opINTS, fnSLL}: SLL, {opINTS, fnSRL}: SRL,
+			{opINTM, fnMULQ}: MULQ,
+		}
+		if mn, ok := m[key{op, fn}]; ok {
+			in.Mnem = mn
+			return in, nil
+		}
+	case opJSR:
+		if w>>14&3 == 1 {
+			in.Mnem = JSR
+		} else {
+			in.Mnem = JMP
+		}
+		return in, nil
+	case opBR, opBSR, opBEQ, opBNE, opBLT, opBGT:
+		in.Disp = brDisp
+		switch op {
+		case opBR:
+			in.Mnem = BR
+		case opBSR:
+			in.Mnem = BSR
+		case opBEQ:
+			in.Mnem = BEQ
+		case opBNE:
+			in.Mnem = BNE
+		case opBLT:
+			in.Mnem = BLT
+		case opBGT:
+			in.Mnem = BGT
+		}
+		return in, nil
+	}
+	return in, fmt.Errorf("isa: cannot decode %#08x", w)
+}

@@ -1,0 +1,394 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Mnem: HALT},
+		{Mnem: LDQ, Ra: 1, Rb: 2, Disp: 8},
+		{Mnem: STQ, Ra: 3, Rb: 30, Disp: -16},
+		{Mnem: LDL, Ra: 7, Rb: 8, Disp: 32767},
+		{Mnem: STL, Ra: 9, Rb: 10, Disp: -32768},
+		{Mnem: LDA, Ra: 1, Rb: Zero, Disp: 100},
+		{Mnem: LDAH, Ra: 1, Rb: 1, Disp: 2},
+		{Mnem: ADDQ, Ra: 1, Rb: 2, Rc: 3},
+		{Mnem: ADDQ, Ra: 1, Lit: 255, LitValid: true, Rc: 3},
+		{Mnem: SUBQ, Ra: 4, Rb: 5, Rc: 6},
+		{Mnem: MULQ, Ra: 1, Lit: 10, LitValid: true, Rc: 2},
+		{Mnem: AND, Ra: 1, Rb: 2, Rc: 3},
+		{Mnem: BIS, Ra: 1, Rb: 2, Rc: 3},
+		{Mnem: XOR, Ra: 1, Lit: 0xff, LitValid: true, Rc: 3},
+		{Mnem: SLL, Ra: 1, Lit: 3, LitValid: true, Rc: 1},
+		{Mnem: SRL, Ra: 1, Rb: 2, Rc: 1},
+		{Mnem: CMPEQ, Ra: 1, Rb: 2, Rc: 3},
+		{Mnem: CMPLT, Ra: 1, Rb: 2, Rc: 3},
+		{Mnem: CMPLE, Ra: 1, Lit: 4, LitValid: true, Rc: 3},
+		{Mnem: BR, Ra: Zero, Disp: 100},
+		{Mnem: BSR, Ra: RA, Disp: -5},
+		{Mnem: BEQ, Ra: 2, Disp: 1},
+		{Mnem: BNE, Ra: 2, Disp: -1},
+		{Mnem: BLT, Ra: 2, Disp: 1 << 19},
+		{Mnem: BGT, Ra: 2, Disp: -(1 << 20)},
+		{Mnem: WH64, Rb: 4},
+		{Mnem: JSR, Ra: RA, Rb: 5},
+	}
+	for _, in := range cases {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%v: %v", in.Mnem, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("%v: decode %#x: %v", in.Mnem, w, err)
+		}
+		if got.Mnem != in.Mnem {
+			t.Fatalf("mnem %v -> %v", in.Mnem, got.Mnem)
+		}
+		switch in.Mnem {
+		case HALT, WH64, JSR, JMP, RET:
+		default:
+			if got.Ra != in.Ra {
+				t.Fatalf("%v: Ra %d -> %d", in.Mnem, in.Ra, got.Ra)
+			}
+		}
+		if in.Disp != 0 && got.Disp != in.Disp {
+			t.Fatalf("%v: disp %d -> %d", in.Mnem, in.Disp, got.Disp)
+		}
+		if in.LitValid && (!got.LitValid || got.Lit != in.Lit) {
+			t.Fatalf("%v: literal lost", in.Mnem)
+		}
+	}
+}
+
+func TestBranchDisplacementRange(t *testing.T) {
+	if _, err := Encode(Inst{Mnem: BR, Disp: 1 << 20}); err == nil {
+		t.Fatal("out-of-range branch accepted")
+	}
+}
+
+func TestMemoryQuadLong(t *testing.T) {
+	m := NewMemory()
+	m.Write8(0x1000, 0xdeadbeefcafef00d)
+	if got := m.Read8(0x1000); got != 0xdeadbeefcafef00d {
+		t.Fatalf("read8 %#x", got)
+	}
+	// ldl sign-extends.
+	m.Write4(0x2000, 0x80000000)
+	if got := m.Read4(0x2000); got != 0xffffffff80000000 {
+		t.Fatalf("read4 sign extension: %#x", got)
+	}
+	// Cross-page access.
+	m.Write8(8190, 0x1122334455667788)
+	if got := m.Read8(8190); got != 0x1122334455667788 {
+		t.Fatalf("cross-page read %#x", got)
+	}
+	f := func(a uint32, v uint64) bool {
+		m.Write8(uint64(a), v)
+		return m.Read8(uint64(a)) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleAndRunSum(t *testing.T) {
+	// Sum 1..10 into r1.
+	p, err := Assemble(`
+		lda  r1, 0(zero)
+		lda  r2, 10(zero)
+	loop:	addq r1, r2, r1
+		subq r2, 1, r2
+		bne  r2, loop
+		halt
+	`, 0x10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halt {
+		t.Fatal("did not halt")
+	}
+	if m.R[1] != 55 {
+		t.Fatalf("sum = %d, want 55", m.R[1])
+	}
+}
+
+func TestLoadStoreProgram(t *testing.T) {
+	p, err := Assemble(`
+		lda  r2, 0(zero)
+		ldah r2, 1(r2)        ; r2 = 0x10000... base 64 KB
+		lda  r1, 42(zero)
+		stq  r1, 16(r2)
+		ldq  r3, 16(r2)
+		halt
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[3] != 42 {
+		t.Fatalf("r3 = %d", m.R[3])
+	}
+}
+
+func TestSubroutineCall(t *testing.T) {
+	p, err := Assemble(`
+		lda  r5, 0(zero)
+		ldah r5, 2(r5)       ; address of sub (0x20000)
+		jsr  r26, (r5)
+		addq r1, 1, r1       ; after return: r1 = 8
+		halt
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := Assemble(`
+		lda  r1, 7(zero)
+		ret  (r26)
+	`, 0x20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	for i, w := range sub.Words {
+		m.Mem.Write4(sub.Base+uint64(i)*4, w)
+	}
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[1] != 8 {
+		t.Fatalf("r1 = %d, want 8", m.R[1])
+	}
+}
+
+// recordTrace captures memory events.
+type recordTrace struct {
+	fetches, loads, stores, hints int
+	deps                          int
+}
+
+func (r *recordTrace) Fetch(uint64) { r.fetches++ }
+func (r *recordTrace) Load(_ uint64, d bool) {
+	r.loads++
+	if d {
+		r.deps++
+	}
+}
+func (r *recordTrace) Store(uint64)     { r.stores++ }
+func (r *recordTrace) WriteHint(uint64) { r.hints++ }
+
+func TestTraceEvents(t *testing.T) {
+	p, err := Assemble(`
+		lda  r2, 0(zero)
+		ldah r2, 1(r2)
+		stq  r2, 0(r2)       ; mem[r2] = r2 (a self-pointer)
+		ldq  r3, 0(r2)       ; load
+		ldq  r4, 0(r3)       ; pointer-chasing: depends on r3
+		wh64 (r2)
+		halt
+	`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	tr := &recordTrace{}
+	m.Tr = tr
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if tr.loads != 2 || tr.stores != 1 || tr.hints != 1 {
+		t.Fatalf("trace %+v", tr)
+	}
+	if tr.deps != 1 {
+		t.Fatalf("dependent loads %d, want 1", tr.deps)
+	}
+	if tr.fetches != int(m.Retired) {
+		t.Fatalf("fetches %d != retired %d", tr.fetches, m.Retired)
+	}
+}
+
+func TestWH64ZeroesLine(t *testing.T) {
+	p, _ := Assemble(`
+		lda  r2, 0(zero)
+		ldah r2, 1(r2)
+		lda  r1, 9(zero)
+		stq  r1, 8(r2)
+		wh64 (r2)
+		ldq  r3, 8(r2)
+		halt
+	`, 0)
+	m := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[3] != 0 {
+		t.Fatalf("wh64 did not zero the line: r3=%d", m.R[3])
+	}
+}
+
+func TestR31Hardwired(t *testing.T) {
+	p, _ := Assemble(`
+		lda  r31, 99(zero)
+		addq r31, 5, r1
+		halt
+	`, 0)
+	m := NewMachine(p)
+	if _, err := m.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[1] != 5 {
+		t.Fatalf("r31 not hardwired to zero: r1=%d", m.R[1])
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	for i, src := range []string{
+		"ldq r1",           // missing operand
+		"ldq r99, 0(r1)",   // bad register
+		"bne r1, nowhere",  // unknown label
+		"frob r1, r2, r3",  // unknown mnemonic
+		"addq r1, 300, r2", // literal out of range... parsed as reg -> error
+		"x: halt\nx: halt", // duplicate label
+	} {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Fatalf("case %d (%q) accepted", i, src)
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	p, _ := Assemble("loop: br loop", 0)
+	m := NewMachine(p)
+	n, err := m.Run(500)
+	if err != nil || n != 500 {
+		t.Fatalf("limit run: n=%d err=%v", n, err)
+	}
+	if m.Halt {
+		t.Fatal("infinite loop halted")
+	}
+}
+
+func TestLoadLockedStoreConditional(t *testing.T) {
+	// A textbook Alpha atomic increment.
+	p, err := Assemble(`
+		lda   r2, 0(zero)
+		ldah  r2, 1(r2)         ; counter address
+	retry:	ldq_l r1, 0(r2)
+		addq  r1, 1, r1
+		stq_c r1, 0(r2)
+		beq   r1, retry         ; r1=0 on failure
+		ldq   r3, 0(r2)
+		halt
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[3] != 1 {
+		t.Fatalf("atomic increment result %d, want 1", m.R[3])
+	}
+}
+
+func TestStoreConditionalFailsAfterInvalidation(t *testing.T) {
+	p, err := Assemble(`
+		lda   r2, 0(zero)
+		ldah  r2, 1(r2)
+		ldq_l r1, 0(r2)
+		addq  r1, 1, r1
+		stq_c r1, 0(r2)
+		halt
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	// Run up to the ldq_l, then simulate a coherence invalidation.
+	for i := 0; i < 3; i++ {
+		if err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ClearLockFlag()
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[1] != 0 {
+		t.Fatalf("stq_c should fail after invalidation: r1=%d", m.R[1])
+	}
+	if got := m.Mem.Read8(0x10000); got != 0 {
+		t.Fatalf("failed stq_c wrote memory: %d", got)
+	}
+}
+
+func TestStoreConditionalFailsOnInterveningStore(t *testing.T) {
+	p, err := Assemble(`
+		lda   r2, 0(zero)
+		ldah  r2, 1(r2)
+		ldq_l r1, 0(r2)
+		stq   r31, 0(r2)        ; intervening plain store to the line
+		stq_c r1, 0(r2)
+		halt
+	`, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(p)
+	if _, err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[1] != 0 {
+		t.Fatalf("stq_c should fail after intervening store: r1=%d", m.R[1])
+	}
+}
+
+func TestLockedPairRoundTrip(t *testing.T) {
+	for _, in := range []Inst{
+		{Mnem: LDQl, Ra: 1, Rb: 2, Disp: 8},
+		{Mnem: LDLl, Ra: 1, Rb: 2, Disp: -8},
+		{Mnem: STQc, Ra: 3, Rb: 2, Disp: 16},
+		{Mnem: STLc, Ra: 3, Rb: 2, Disp: 0},
+	} {
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(w)
+		if err != nil || got.Mnem != in.Mnem || got.Disp != in.Disp {
+			t.Fatalf("%v round trip: %+v err=%v", in.Mnem, got, err)
+		}
+	}
+}
+
+func TestDecodeFuzzNoPanic(t *testing.T) {
+	// Random words must either decode or return an error — never panic
+	// or mis-handle (exercises every decoder branch).
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true
+		}
+		// Anything decodable must re-encode to a word that decodes to
+		// the same mnemonic.
+		w2, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		in2, err := Decode(w2)
+		return err == nil && in2.Mnem == in.Mnem
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,302 @@
+package isa
+
+import (
+	"fmt"
+
+	"piranha/internal/cache"
+)
+
+// Memory is the machine's sparse byte-addressable physical memory.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{pages: make(map[uint64][]byte)} }
+
+const memPageBytes = 8192
+
+func (m *Memory) page(a uint64) []byte {
+	pn := a / memPageBytes
+	p, ok := m.pages[pn]
+	if !ok {
+		p = make([]byte, memPageBytes)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// Read8 loads an unaligned-tolerant little-endian quadword.
+func (m *Memory) Read8(a uint64) uint64 {
+	var v uint64
+	for i := uint64(0); i < 8; i++ {
+		v |= uint64(m.page(a + i)[(a+i)%memPageBytes]) << (8 * i)
+	}
+	return v
+}
+
+// Write8 stores a little-endian quadword.
+func (m *Memory) Write8(a uint64, v uint64) {
+	for i := uint64(0); i < 8; i++ {
+		m.page(a + i)[(a+i)%memPageBytes] = byte(v >> (8 * i))
+	}
+}
+
+// Read4 loads a longword, sign-extended per Alpha ldl.
+func (m *Memory) Read4(a uint64) uint64 {
+	var v uint32
+	for i := uint64(0); i < 4; i++ {
+		v |= uint32(m.page(a + i)[(a+i)%memPageBytes]) << (8 * i)
+	}
+	return uint64(int64(int32(v)))
+}
+
+// Write4 stores a longword.
+func (m *Memory) Write4(a uint64, v uint32) {
+	for i := uint64(0); i < 4; i++ {
+		m.page(a + i)[(a+i)%memPageBytes] = byte(v >> (8 * i))
+	}
+}
+
+// Trace receives the machine's architectural memory events so a timing
+// model (internal/core's chip) can charge them; a nil Trace runs purely
+// functionally.
+type Trace interface {
+	Fetch(pc uint64)
+	Load(a uint64, dependent bool)
+	Store(a uint64)
+	WriteHint(a uint64)
+}
+
+// Machine is a functional Alpha-subset interpreter.
+type Machine struct {
+	PC   uint64
+	R    [32]uint64
+	Mem  *Memory
+	Tr   Trace
+	Halt bool
+
+	// Retired counts executed instructions.
+	Retired uint64
+	// lastLoadReg tracks the destination of the previous load so the
+	// trace can mark dependent (pointer-chasing) loads.
+	lastLoadReg Reg
+	hasLastLoad bool
+	// lockFlag/lockAddr implement the Alpha load-locked/store-
+	// conditional pair: ldx_l sets them; stx_c succeeds only while the
+	// flag holds and the address matches the locked line.
+	lockFlag bool
+	lockAddr uint64
+}
+
+// ClearLockFlag models an intervening write to the locked line by
+// another agent (coherence invalidation): the next stx_c fails. Tests
+// and multi-machine harnesses drive this.
+func (m *Machine) ClearLockFlag() { m.lockFlag = false }
+
+// NewMachine returns a machine with the program loaded.
+func NewMachine(p *Program) *Machine {
+	m := &Machine{PC: p.Base, Mem: NewMemory()}
+	for i, w := range p.Words {
+		m.Mem.Write4(p.Base+uint64(i)*4, w)
+	}
+	return m
+}
+
+// reg reads a register (r31 is zero).
+func (m *Machine) reg(r Reg) uint64 {
+	if r == Zero {
+		return 0
+	}
+	return m.R[r]
+}
+
+// setReg writes a register (r31 ignored).
+func (m *Machine) setReg(r Reg, v uint64) {
+	if r != Zero {
+		m.R[r] = v
+	}
+}
+
+// Step executes one instruction; it returns an error on undecodable words.
+func (m *Machine) Step() error {
+	if m.Halt {
+		return nil
+	}
+	if m.Tr != nil {
+		m.Tr.Fetch(m.PC)
+	}
+	w := uint32(m.Mem.Read4(m.PC))
+	in, err := Decode(w)
+	if err != nil {
+		return fmt.Errorf("isa: at %#x: %v", m.PC, err)
+	}
+	next := m.PC + 4
+	b := func() uint64 {
+		if in.LitValid {
+			return uint64(in.Lit)
+		}
+		return m.reg(in.Rb)
+	}
+	ea := func() uint64 { return m.reg(in.Rb) + uint64(int64(in.Disp)) }
+
+	clearDep := true
+	switch in.Mnem {
+	case HALT:
+		m.Halt = true
+	case LDA:
+		m.setReg(in.Ra, ea())
+	case LDAH:
+		m.setReg(in.Ra, m.reg(in.Rb)+uint64(int64(in.Disp)<<16))
+	case LDQ, LDL:
+		a := ea()
+		if m.Tr != nil {
+			dep := m.hasLastLoad && in.Rb == m.lastLoadReg
+			m.Tr.Load(a, dep)
+		}
+		if in.Mnem == LDQ {
+			m.setReg(in.Ra, m.Mem.Read8(a))
+		} else {
+			m.setReg(in.Ra, m.Mem.Read4(a))
+		}
+		m.lastLoadReg = in.Ra
+		m.hasLastLoad = true
+		clearDep = false
+	case LDQl, LDLl:
+		a := ea()
+		if m.Tr != nil {
+			dep := m.hasLastLoad && in.Rb == m.lastLoadReg
+			m.Tr.Load(a, dep)
+		}
+		if in.Mnem == LDQl {
+			m.setReg(in.Ra, m.Mem.Read8(a))
+		} else {
+			m.setReg(in.Ra, m.Mem.Read4(a))
+		}
+		m.lockFlag = true
+		m.lockAddr = a &^ (cache.LineBytes - 1)
+		m.lastLoadReg = in.Ra
+		m.hasLastLoad = true
+		clearDep = false
+	case STQc, STLc:
+		a := ea()
+		ok := m.lockFlag && m.lockAddr == a&^(cache.LineBytes-1)
+		m.lockFlag = false
+		if ok {
+			if m.Tr != nil {
+				m.Tr.Store(a)
+			}
+			if in.Mnem == STQc {
+				m.Mem.Write8(a, m.reg(in.Ra))
+			} else {
+				m.Mem.Write4(a, uint32(m.reg(in.Ra)))
+			}
+		}
+		// Ra receives the success flag (Alpha semantics).
+		m.setReg(in.Ra, boolTo64(ok))
+	case STQ, STL:
+		a := ea()
+		if m.Tr != nil {
+			m.Tr.Store(a)
+		}
+		if in.Mnem == STQ {
+			m.Mem.Write8(a, m.reg(in.Ra))
+		} else {
+			m.Mem.Write4(a, uint32(m.reg(in.Ra)))
+		}
+		if m.lockFlag && m.lockAddr == a&^(cache.LineBytes-1) {
+			m.lockFlag = false
+		}
+	case WH64:
+		a := m.reg(in.Rb) &^ (cache.LineBytes - 1)
+		if m.Tr != nil {
+			m.Tr.WriteHint(a)
+		}
+		for i := uint64(0); i < cache.LineBytes; i += 8 {
+			m.Mem.Write8(a+i, 0)
+		}
+	case ADDQ:
+		m.setReg(in.Rc, m.reg(in.Ra)+b())
+	case SUBQ:
+		m.setReg(in.Rc, m.reg(in.Ra)-b())
+	case MULQ:
+		m.setReg(in.Rc, m.reg(in.Ra)*b())
+	case AND:
+		m.setReg(in.Rc, m.reg(in.Ra)&b())
+	case BIS:
+		m.setReg(in.Rc, m.reg(in.Ra)|b())
+	case XOR:
+		m.setReg(in.Rc, m.reg(in.Ra)^b())
+	case SLL:
+		m.setReg(in.Rc, m.reg(in.Ra)<<(b()&63))
+	case SRL:
+		m.setReg(in.Rc, m.reg(in.Ra)>>(b()&63))
+	case CMPEQ:
+		m.setReg(in.Rc, boolTo64(m.reg(in.Ra) == b()))
+	case CMPLT:
+		m.setReg(in.Rc, boolTo64(int64(m.reg(in.Ra)) < int64(b())))
+	case CMPLE:
+		m.setReg(in.Rc, boolTo64(int64(m.reg(in.Ra)) <= int64(b())))
+	case BR, BSR:
+		m.setReg(in.Ra, next)
+		next = next + uint64(int64(in.Disp)*4)
+	case BEQ, BNE, BLT, BGT:
+		v := int64(m.reg(in.Ra))
+		take := false
+		switch in.Mnem {
+		case BEQ:
+			take = v == 0
+		case BNE:
+			take = v != 0
+		case BLT:
+			take = v < 0
+		case BGT:
+			take = v > 0
+		}
+		if take {
+			next = next + uint64(int64(in.Disp)*4)
+		}
+	case JMP, RET:
+		next = m.reg(in.Rb) &^ 3
+		m.setReg(in.Ra, m.PC+4)
+	case JSR:
+		t := m.reg(in.Rb) &^ 3
+		m.setReg(in.Ra, m.PC+4)
+		next = t
+	}
+	if clearDep && isLoadBarrier(in.Mnem) {
+		m.hasLastLoad = false
+	}
+	m.PC = next
+	m.Retired++
+	return nil
+}
+
+// isLoadBarrier: register-writing ALU ops between loads break the naive
+// pointer-chase dependence heuristic only when they overwrite the chased
+// register; keep the heuristic simple and only clear on branches.
+func isLoadBarrier(m Mnemonic) bool {
+	switch m {
+	case BR, BSR, JSR, JMP, RET:
+		return true
+	}
+	return false
+}
+
+func boolTo64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes until halt or limit instructions; it reports how many ran.
+func (m *Machine) Run(limit uint64) (uint64, error) {
+	start := m.Retired
+	for !m.Halt && m.Retired-start < limit {
+		if err := m.Step(); err != nil {
+			return m.Retired - start, err
+		}
+	}
+	return m.Retired - start, nil
+}

@@ -1,0 +1,141 @@
+package kernel
+
+import (
+	"testing"
+
+	"piranha/internal/cache"
+	"piranha/internal/cpu"
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+)
+
+// flatMem satisfies cpu.MemSystem with instant L1 hits.
+type flatMem struct{}
+
+func (flatMem) Access(now sim.Time, _ int, _ cpu.AccessKind, _ cache.Addr) (sim.Time, l2.Svc) {
+	return now, l2.SvcL1
+}
+
+// loopStream emits compute then a tx mark, optionally with I/O.
+type loopStream struct {
+	n       int32
+	io      sim.Time
+	perTx   int
+	counter int
+}
+
+func (s *loopStream) Next(_ *sim.RNG) cpu.Op {
+	s.counter++
+	if s.io > 0 && s.counter%(s.perTx+2) == s.perTx+1 {
+		return cpu.Op{Kind: cpu.KIO, IODelay: s.io}
+	}
+	if s.counter%(s.perTx+2) == 0 {
+		return cpu.Op{Kind: cpu.KTxMark}
+	}
+	return cpu.Op{Kind: cpu.KCompute, N: s.n}
+}
+
+func newRig(nCPU int) (*sim.Engine, *Kernel) {
+	eng := sim.NewEngine()
+	var cores []*cpu.Core
+	for i := 0; i < nCPU; i++ {
+		cores = append(cores, cpu.New(i, cpu.InOrder500(), flatMem{}))
+	}
+	return eng, New(eng, cores, DefaultConfig())
+}
+
+func TestSingleProcessTx(t *testing.T) {
+	eng, k := newRig(1)
+	k.Spawn(0, &loopStream{n: 1000, perTx: 4}, 1)
+	elapsed := k.RunTx(10)
+	if k.Tx < 10 {
+		t.Fatalf("tx=%d", k.Tx)
+	}
+	// 10 tx x 5 compute ops x 1000 instr @ 500 MHz = 100 us.
+	if elapsed < 95*sim.Microsecond || elapsed > 110*sim.Microsecond {
+		t.Fatalf("elapsed %d us", elapsed/sim.Microsecond)
+	}
+	_ = eng
+}
+
+func TestIOBlocksAndOverlaps(t *testing.T) {
+	// One process with I/O: the CPU idles during I/O. Eight processes:
+	// the I/O hides behind the other processes' compute.
+	run := func(nproc int) (sim.Time, sim.Time) {
+		_, k := newRig(1)
+		for i := 0; i < nproc; i++ {
+			k.Spawn(0, &loopStream{n: 2000, perTx: 4, io: 100 * sim.Microsecond}, uint64(i))
+		}
+		elapsed := k.RunTx(uint64(4 * nproc))
+		return elapsed, k.IdleTime[0]
+	}
+	e1, idle1 := run(1)
+	e8, idle8 := run(8)
+	if idle1 == 0 {
+		t.Fatal("single process should idle during I/O")
+	}
+	perTx1 := float64(e1) / 4
+	perTx8 := float64(e8) / 32
+	if perTx8 > perTx1/2 {
+		t.Fatalf("multiprogramming did not hide I/O: %v vs %v per tx", perTx8, perTx1)
+	}
+	if idle8 >= idle1 {
+		t.Fatalf("idle with 8 procs (%d) should shrink vs 1 proc (%d)", idle8, idle1)
+	}
+}
+
+func TestContextSwitchesCharged(t *testing.T) {
+	_, k := newRig(1)
+	k.Spawn(0, &loopStream{n: 100, perTx: 2, io: 10 * sim.Microsecond}, 1)
+	k.Spawn(0, &loopStream{n: 100, perTx: 2, io: 10 * sim.Microsecond}, 2)
+	k.RunTx(20)
+	if k.Switches == 0 {
+		t.Fatal("no context switches recorded")
+	}
+}
+
+func TestMultiCPUIndependence(t *testing.T) {
+	_, k := newRig(4)
+	for c := 0; c < 4; c++ {
+		k.Spawn(c, &loopStream{n: 1000, perTx: 4}, uint64(c))
+	}
+	elapsed := k.RunTx(40)
+	// 4 CPUs each committing ~10 tx in parallel: roughly the time one
+	// CPU needs for 10, not 40.
+	if elapsed > 120*sim.Microsecond {
+		t.Fatalf("no parallel speedup: %d us", elapsed/sim.Microsecond)
+	}
+	total := uint64(0)
+	for _, c := range k.Cores() {
+		total += c.Instructions
+	}
+	if total < 160000 {
+		t.Fatalf("instructions %d", total)
+	}
+}
+
+func TestYieldRotatesProcesses(t *testing.T) {
+	_, k := newRig(1)
+	sA := &yieldStream{}
+	sB := &yieldStream{}
+	k.Spawn(0, sA, 1)
+	k.Spawn(0, sB, 2)
+	k.RunTx(10)
+	if sA.ran == 0 || sB.ran == 0 {
+		t.Fatalf("yield starved a process: %d/%d", sA.ran, sB.ran)
+	}
+}
+
+type yieldStream struct{ ran int }
+
+func (s *yieldStream) Next(_ *sim.RNG) cpu.Op {
+	s.ran++
+	switch s.ran % 3 {
+	case 0:
+		return cpu.Op{Kind: cpu.KYield}
+	case 1:
+		return cpu.Op{Kind: cpu.KCompute, N: 500}
+	default:
+		return cpu.Op{Kind: cpu.KTxMark}
+	}
+}

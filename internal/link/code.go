@@ -1,0 +1,140 @@
+// Package link implements the logical layer of Piranha's inter-chip
+// channels (paper §2.6.1): each channel is 22 wires per direction at
+// 2 Gbit/s/wire, carrying a DC-balanced block code that encodes 19 bits
+// per 22-bit word — 16 data bits, 2 bits of CRC/flow-control/error-
+// recovery sideband, and a 19th randomly-generated bit encoded by
+// inverting the whole word.
+//
+// The code guarantees that exactly 11 of the 22 wires carry '1' in every
+// word (net DC current is zero), and the base set of codewords contains
+// no two complementary elements, so whole-word inversion is always
+// unambiguous. With the random inversion bit the links are statistically
+// DC-balanced in the time domain per wire, making the channel insensitive
+// to polarity and usable over fiber or transformer coupling.
+package link
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Code geometry.
+const (
+	WordBits    = 22 // wires per direction
+	PayloadBits = 18 // data+sideband bits per word
+	// CodeBits counts the payload plus the random inversion bit.
+	CodeBits = 19
+)
+
+// binom[n][k] = C(n,k) for n,k <= WordBits.
+var binom [WordBits + 1][WordBits + 1]uint32
+
+func init() {
+	for n := 0; n <= WordBits; n++ {
+		binom[n][0] = 1
+		for k := 1; k <= n; k++ {
+			binom[n][k] = binom[n-1][k-1]
+			if k <= n-1 {
+				binom[n][k] += binom[n-1][k]
+			}
+		}
+	}
+}
+
+// unrank21 returns the index-th 21-bit word with exactly 11 set bits, in
+// colexicographic order. Valid for index < C(21,11) = 352716.
+func unrank21(index uint32) uint32 {
+	var w uint32
+	ones := 11
+	for pos := 20; pos >= 0 && ones > 0; pos-- {
+		// Words with bit pos clear: C(pos, ones) of the remaining.
+		c := binom[pos][ones]
+		if index >= c {
+			w |= 1 << uint(pos)
+			index -= c
+			ones--
+		}
+	}
+	return w
+}
+
+// rank21 is the inverse of unrank21.
+func rank21(w uint32) uint32 {
+	var index uint32
+	ones := 11
+	for pos := 20; pos >= 0 && ones > 0; pos-- {
+		if w&(1<<uint(pos)) != 0 {
+			index += binom[pos][ones]
+			ones--
+		}
+	}
+	return index
+}
+
+// EncodeWord encodes an 18-bit payload and the random inversion bit into
+// a 22-bit DC-balanced word. Payload values must be < 2^18.
+//
+// Base codewords have bit 21 clear and exactly 11 of the remaining 21
+// bits set — so every base word is balanced and no base word is the
+// complement of another (a complement would have bit 21 set). Setting
+// invert transmits the bitwise complement, which is itself balanced.
+func EncodeWord(payload uint32, invert bool) (uint32, error) {
+	if payload >= 1<<PayloadBits {
+		return 0, fmt.Errorf("link: payload %#x exceeds %d bits", payload, PayloadBits)
+	}
+	w := unrank21(payload) // bit 21 clear; 11 ones among bits 0..20
+	if invert {
+		w = ^w & ((1 << WordBits) - 1)
+	}
+	return w, nil
+}
+
+// DecodeWord recovers the payload and the inversion bit from a received
+// word. It reports an error for any word that is not a valid codeword
+// (wrong weight or out-of-range rank), which is how single-wire errors
+// are detected at the physical layer.
+func DecodeWord(w uint32) (payload uint32, inverted bool, err error) {
+	if w >= 1<<WordBits {
+		return 0, false, fmt.Errorf("link: word %#x exceeds %d bits", w, WordBits)
+	}
+	if bits.OnesCount32(w) != 11 {
+		return 0, false, fmt.Errorf("link: word %#x is not DC-balanced", w)
+	}
+	if w&(1<<21) != 0 {
+		inverted = true
+		w = ^w & ((1 << WordBits) - 1)
+	}
+	payload = rank21(w)
+	if payload >= 1<<PayloadBits {
+		return 0, false, fmt.Errorf("link: word decodes outside payload range")
+	}
+	return payload, inverted, nil
+}
+
+// SplitPayload separates an 18-bit payload into its 16 data bits and
+// 2 sideband (CRC/flow-control) bits.
+func SplitPayload(p uint32) (data uint16, side uint8) {
+	return uint16(p & 0xffff), uint8(p >> 16 & 3)
+}
+
+// JoinPayload combines 16 data bits and 2 sideband bits into a payload.
+func JoinPayload(data uint16, side uint8) uint32 {
+	return uint32(data) | uint32(side&3)<<16
+}
+
+// CRC16 computes the CRC-16/CCITT-FALSE checksum used to protect packet
+// payloads across a channel.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xffff)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,212 @@
+package link
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"piranha/internal/sim"
+)
+
+func TestEncodeBalance(t *testing.T) {
+	// Every codeword, inverted or not, must have exactly 11 of 22 wires
+	// high — the paper's DC-balance guarantee.
+	for _, p := range []uint32{0, 1, 1000, 1 << 17, 1<<18 - 1} {
+		for _, inv := range []bool{false, true} {
+			w, err := EncodeWord(p, inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bits.OnesCount32(w) != 11 {
+				t.Fatalf("payload %d inv=%v: weight %d", p, inv, bits.OnesCount32(w))
+			}
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(p uint32, inv bool) bool {
+		p %= 1 << PayloadBits
+		w, err := EncodeWord(p, inv)
+		if err != nil {
+			return false
+		}
+		got, gotInv, err := DecodeWord(w)
+		return err == nil && got == p && gotInv == inv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoComplementaryBaseCodewords(t *testing.T) {
+	// Base (non-inverted) codewords all have bit 21 clear, so no base
+	// codeword can be the complement of another. Spot-check densely at
+	// the range ends and sparsely in between.
+	seen := make(map[uint32]bool)
+	check := func(p uint32) {
+		w, err := EncodeWord(p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w&(1<<21) != 0 {
+			t.Fatalf("base codeword for %d has MSB set", p)
+		}
+		comp := ^w & (1<<WordBits - 1)
+		if seen[comp] {
+			t.Fatalf("complementary pair found at payload %d", p)
+		}
+		seen[w] = true
+	}
+	for p := uint32(0); p < 4096; p++ {
+		check(p)
+	}
+	for p := uint32(0); p < 1<<PayloadBits; p += 997 {
+		check(p)
+	}
+	check(1<<PayloadBits - 1)
+}
+
+func TestEncodeUniqueness(t *testing.T) {
+	// Distinct payloads must map to distinct codewords (dense prefix).
+	seen := make(map[uint32]uint32)
+	for p := uint32(0); p < 50000; p++ {
+		w, err := EncodeWord(p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[w]; dup {
+			t.Fatalf("payloads %d and %d share codeword %#x", prev, p, w)
+		}
+		seen[w] = p
+	}
+}
+
+func TestDecodeRejectsUnbalanced(t *testing.T) {
+	if _, _, err := DecodeWord(0); err == nil {
+		t.Fatal("all-zero word accepted")
+	}
+	if _, _, err := DecodeWord(1<<WordBits - 1); err == nil {
+		t.Fatal("all-one word accepted")
+	}
+	// A single-wire error always breaks the weight and must be detected.
+	w, _ := EncodeWord(12345, false)
+	for bit := 0; bit < WordBits; bit++ {
+		if _, _, err := DecodeWord(w ^ 1<<uint(bit)); err == nil {
+			t.Fatalf("single-wire error at bit %d not detected", bit)
+		}
+	}
+}
+
+func TestInversionInsensitive(t *testing.T) {
+	// The receiver recovers the same payload regardless of the random
+	// inversion bit — the property that permits fiber/transformer links.
+	f := func(p uint32) bool {
+		p %= 1 << PayloadBits
+		w0, _ := EncodeWord(p, false)
+		w1, _ := EncodeWord(p, true)
+		if w1 != ^w0&(1<<WordBits-1) {
+			return false
+		}
+		d0, _, e0 := DecodeWord(w0)
+		d1, _, e1 := DecodeWord(w1)
+		return e0 == nil && e1 == nil && d0 == p && d1 == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadSplitJoin(t *testing.T) {
+	f := func(d uint16, s uint8) bool {
+		s &= 3
+		gd, gs := SplitPayload(JoinPayload(d, s))
+		return gd == d && gs == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCRC16KnownValue(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29b1 {
+		t.Fatalf("CRC16 = %#x, want 0x29b1", got)
+	}
+	if CRC16(nil) != 0xffff {
+		t.Fatal("CRC of empty input should be the initial value")
+	}
+}
+
+func TestChannelCleanTransmission(t *testing.T) {
+	c := NewChannel(0, 1)
+	frame := []byte("piranha short packet payload....")
+	attempts, err := c.Transmit(frame, 4)
+	if err != nil || attempts != 1 {
+		t.Fatalf("clean channel: attempts=%d err=%v", attempts, err)
+	}
+	if c.WordErrors != 0 || c.Retransmits != 0 {
+		t.Fatalf("clean channel recorded errors: %+v", c)
+	}
+}
+
+func TestChannelRecoversFromErrors(t *testing.T) {
+	c := NewChannel(0.002, 7)
+	frame := make([]byte, 64)
+	for i := range frame {
+		frame[i] = byte(i * 3)
+	}
+	fails := 0
+	for i := 0; i < 200; i++ {
+		if _, err := c.Transmit(frame, 50); err != nil {
+			fails++
+		}
+	}
+	if fails != 0 {
+		t.Fatalf("%d frames lost despite retransmission", fails)
+	}
+	if c.Retransmits == 0 {
+		t.Fatal("expected some retransmissions at BER 0.002")
+	}
+	if c.WordErrors == 0 {
+		t.Fatal("expected word-level error detections")
+	}
+}
+
+func TestChannelInversionStatistics(t *testing.T) {
+	c := NewChannel(0, 99)
+	frame := make([]byte, 2048)
+	if _, err := c.Transmit(frame, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The random 19th bit should invert roughly half the words.
+	frac := float64(c.InvertedWords) / float64(c.WordsSent)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("inversion fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	ic := sim.MHz(500)
+	// Short packet: 128 bits = 8 words = 2 interconnect cycles.
+	if got := TransferTime(16, ic); got != ic.Cycles(2) {
+		t.Fatalf("short packet time %d, want %d", got, ic.Cycles(2))
+	}
+	// Long packet: 128+512 bits = 40 words = 10 cycles.
+	if got := TransferTime(80, ic); got != ic.Cycles(10) {
+		t.Fatalf("long packet time %d, want %d", got, ic.Cycles(10))
+	}
+}
+
+func BenchmarkEncodeWord(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		EncodeWord(uint32(i)&(1<<PayloadBits-1), i&1 == 0)
+	}
+}
+
+func BenchmarkDecodeWord(b *testing.B) {
+	w, _ := EncodeWord(123456, false)
+	for i := 0; i < b.N; i++ {
+		DecodeWord(w)
+	}
+}

@@ -1,0 +1,158 @@
+// Package memctl models Piranha's memory system (paper §2.4): one memory
+// controller and direct-Rambus RDRAM channel per L2 bank, eight per chip.
+// Each channel supports up to 32 RDRAM devices, sustains 1.6 GB/s, and
+// serves a random access in 60 ns to the critical word (plus 30 ns for the
+// rest of the cache line), or 40 ns when the access hits a page that the
+// controller has kept open. A fully populated chip can have up to 2K
+// 512-byte pages open; the controller's main complexity is the policy for
+// which pages to keep open and for how long.
+package memctl
+
+import (
+	"piranha/internal/cache"
+	"piranha/internal/sim"
+)
+
+// Config describes one memory controller + RDRAM channel.
+type Config struct {
+	// RandomLatency is the closed-page latency to the critical word.
+	RandomLatency sim.Time
+	// OpenPageLatency is the latency when the page register hits.
+	OpenPageLatency sim.Time
+	// RestOfLine is the additional time for the full 64-byte line.
+	RestOfLine sim.Time
+	// BandwidthBytesPerSec is the sustained channel data rate.
+	BandwidthBytesPerSec int64
+	// PageBytes is the RDRAM page size.
+	PageBytes int
+	// PageRegisters is the number of independent open-page registers
+	// on the channel (devices x banks).
+	PageRegisters int
+	// CloseTimeout is how long a page stays open without access before
+	// the controller closes it (the paper finds ~1 us yields >50% hits
+	// on OLTP).
+	CloseTimeout sim.Time
+}
+
+// DefaultConfig is the prototype channel: 60/40 ns, +30 ns rest-of-line,
+// 1.6 GB/s, 512-byte pages, 256 page registers per channel (32 devices x
+// 8 banks), 1 us close timeout.
+func DefaultConfig() Config {
+	return Config{
+		RandomLatency:        60 * sim.Nanosecond,
+		OpenPageLatency:      40 * sim.Nanosecond,
+		RestOfLine:           30 * sim.Nanosecond,
+		BandwidthBytesPerSec: 1_600_000_000,
+		PageBytes:            512,
+		PageRegisters:        256,
+		CloseTimeout:         1 * sim.Microsecond,
+	}
+}
+
+// pageReg is one open-page register.
+type pageReg struct {
+	page     uint64
+	open     bool
+	lastUsed sim.Time
+}
+
+// Controller is one memory controller + channel.
+type Controller struct {
+	cfg     Config
+	channel *sim.Server
+	regs    []pageReg
+
+	// Stats.
+	Reads     uint64
+	Writes    uint64
+	PageHits  uint64
+	PageMiss  uint64
+	DirReads  uint64
+	DirWrites uint64
+}
+
+// New returns an idle controller.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg, channel: sim.NewServer(1), regs: make([]pageReg, cfg.PageRegisters)}
+}
+
+// Config returns the controller configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// lineOccupancy is the channel time to move one cache line.
+func (c *Controller) lineOccupancy() sim.Time {
+	return sim.Time(int64(cache.LineBytes) * int64(sim.Second) / c.cfg.BandwidthBytesPerSec)
+}
+
+// page returns (register index, page number) for an address.
+func (c *Controller) page(a cache.Addr) (int, uint64) {
+	p := uint64(a) / uint64(c.cfg.PageBytes)
+	return int(p % uint64(len(c.regs))), p
+}
+
+// access performs the page-policy bookkeeping and returns the latency to
+// the critical word.
+func (c *Controller) access(now sim.Time, a cache.Addr) sim.Time {
+	ri, p := c.page(a)
+	r := &c.regs[ri]
+	hit := r.open && r.page == p && now-r.lastUsed <= c.cfg.CloseTimeout
+	r.page = p
+	r.open = true
+	r.lastUsed = now
+	if hit {
+		c.PageHits++
+		return c.cfg.OpenPageLatency
+	}
+	c.PageMiss++
+	return c.cfg.RandomLatency
+}
+
+// Read fetches the line containing a. It returns the time the critical
+// word is available (the requester's completion) and the time the full
+// line has transferred (the channel stays occupied until then).
+func (c *Controller) Read(now sim.Time, a cache.Addr) (critical, full sim.Time) {
+	c.Reads++
+	lat := c.access(now, a)
+	full = c.channel.Acquire(now+lat, c.lineOccupancy())
+	critical = full - c.cfg.RestOfLine
+	if critical < now+lat {
+		critical = now + lat
+	}
+	return critical, full
+}
+
+// Write stores the line containing a; the caller does not wait for
+// completion, but the channel occupancy is charged.
+func (c *Controller) Write(now sim.Time, a cache.Addr) (done sim.Time) {
+	c.Writes++
+	lat := c.access(now, a)
+	return c.channel.Acquire(now+lat, c.lineOccupancy())
+}
+
+// ReadDirectory models fetching a line's directory entry, which lives in
+// the same DRAM line's ECC bits: it costs a line read on the channel.
+func (c *Controller) ReadDirectory(now sim.Time, a cache.Addr) sim.Time {
+	c.DirReads++
+	crit, _ := c.Read(now, a)
+	return crit
+}
+
+// WriteDirectory models writing back an updated directory entry.
+func (c *Controller) WriteDirectory(now sim.Time, a cache.Addr) sim.Time {
+	c.DirWrites++
+	return c.Write(now, a)
+}
+
+// HitRate returns the open-page hit fraction so far.
+func (c *Controller) HitRate() float64 {
+	t := c.PageHits + c.PageMiss
+	if t == 0 {
+		return 0
+	}
+	return float64(c.PageHits) / float64(t)
+}
+
+// Utilization returns channel busy time over elapsed.
+func (c *Controller) Utilization(elapsed sim.Time) float64 {
+	return c.channel.Utilization(elapsed)
+}

@@ -1,0 +1,135 @@
+package memctl
+
+import (
+	"testing"
+
+	"piranha/internal/cache"
+	"piranha/internal/sim"
+)
+
+func TestColdReadLatency(t *testing.T) {
+	c := New(DefaultConfig())
+	crit, full := c.Read(0, 0x10000)
+	// Random access: 60 ns to critical word, +30 ns rest of line...
+	// with a 40 ns line occupancy, full = 60+40 = 100 ns and critical =
+	// full-30 = 70 ns, no earlier than 60 ns.
+	if crit < 60*sim.Nanosecond {
+		t.Fatalf("critical word at %d ps, before the 60 ns access", crit)
+	}
+	if full-crit != 30*sim.Nanosecond {
+		t.Fatalf("rest-of-line %d ps, want 30 ns", full-crit)
+	}
+}
+
+func TestOpenPageHit(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Read(0, 0x10000)
+	// Second access to the same 512-byte page shortly after: open-page
+	// latency.
+	now := 200 * sim.Nanosecond
+	crit, _ := c.Read(now, 0x10040)
+	if c.PageHits != 1 {
+		t.Fatalf("page hits %d, want 1", c.PageHits)
+	}
+	if lat := crit - now; lat > 70*sim.Nanosecond {
+		t.Fatalf("open-page critical latency %d ps too high", lat)
+	}
+}
+
+func TestCloseTimeout(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Read(0, 0x10000)
+	// After the 1 us close timeout the page re-opens at full latency.
+	c.Read(5*sim.Microsecond, 0x10040)
+	if c.PageHits != 0 || c.PageMiss != 2 {
+		t.Fatalf("hits=%d miss=%d; timeout not applied", c.PageHits, c.PageMiss)
+	}
+}
+
+func TestDifferentPagesConflictRegister(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	a := cache.Addr(0)
+	// Address on a page that maps to the same register (page + 256
+	// pages of 512 bytes).
+	b := a + cache.Addr(cfg.PageRegisters*cfg.PageBytes)
+	c.Read(0, a)
+	c.Read(100*sim.Nanosecond, b) // displaces the open page
+	c.Read(200*sim.Nanosecond, a) // must miss again
+	if c.PageHits != 0 {
+		t.Fatalf("conflicting pages should not hit (hits=%d)", c.PageHits)
+	}
+}
+
+func TestChannelBandwidthOccupancy(t *testing.T) {
+	c := New(DefaultConfig())
+	// 64 bytes at 1.6 GB/s = 40 ns occupancy per line. Saturate the
+	// channel (arrivals every 40 ns, i.e. 100% of its bandwidth) and
+	// the utilization-based queueing model must push back.
+	now := sim.Time(0)
+	var lastFull sim.Time
+	for i := 0; i < 2000; i++ {
+		_, lastFull = c.Read(now, cache.Addr(i)<<20)
+		now += 40 * sim.Nanosecond
+	}
+	if lastFull < now+100*sim.Nanosecond {
+		t.Fatalf("saturated channel shows no queueing: full=%d now=%d", lastFull, now)
+	}
+	if u := c.Utilization(now); u < 0.8 {
+		t.Fatalf("utilization %v under saturation", u)
+	}
+	// A lightly-loaded channel adds almost no delay.
+	c2 := New(DefaultConfig())
+	crit, _ := c2.Read(0, 0)
+	if crit > 70*sim.Nanosecond {
+		t.Fatalf("idle-channel read took %d ps", crit)
+	}
+}
+
+func TestWriteAndDirectoryCounters(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Write(0, 0x100)
+	c.ReadDirectory(0, 0x200)
+	c.WriteDirectory(0, 0x300)
+	if c.Writes != 2 || c.Reads != 1 || c.DirReads != 1 || c.DirWrites != 1 {
+		t.Fatalf("counters: %+v", *c)
+	}
+}
+
+func TestHitRateOLTPLikeStream(t *testing.T) {
+	// A stream with strong page locality (sequential lines with some
+	// random jumps) should see a high open-page hit rate with the 1 us
+	// timeout — the behaviour behind the paper's >50% OLTP result.
+	c := New(DefaultConfig())
+	r := sim.NewRNG(3)
+	now := sim.Time(0)
+	a := cache.Addr(0)
+	for i := 0; i < 10000; i++ {
+		if r.Bool(0.3) {
+			a = cache.Addr(r.Uint64() % (1 << 30))
+		} else {
+			a += cache.LineBytes
+		}
+		c.Read(now, a)
+		now += 100 * sim.Nanosecond
+	}
+	if hr := c.HitRate(); hr < 0.4 {
+		t.Fatalf("hit rate %v too low for a local stream", hr)
+	}
+}
+
+func TestHitRateZeroWhenIdle(t *testing.T) {
+	c := New(DefaultConfig())
+	if c.HitRate() != 0 {
+		t.Fatal("idle hit rate should be 0")
+	}
+}
+
+func BenchmarkControllerRead(b *testing.B) {
+	c := New(DefaultConfig())
+	now := sim.Time(0)
+	for i := 0; i < b.N; i++ {
+		c.Read(now, cache.Addr(i)<<6)
+		now += 100 * sim.Nanosecond
+	}
+}

@@ -1,0 +1,314 @@
+package noc
+
+import (
+	"fmt"
+
+	"piranha/internal/sim"
+)
+
+// Packet kinds and sizes (paper §2.6.1).
+const (
+	// ShortCycles is the channel occupancy of a 128-bit packet.
+	ShortCycles = 2
+	// LongCycles is the occupancy of a header + 64-byte-data packet.
+	LongCycles = 10
+	// Priorities supported by the OQ and IQ.
+	Priorities = 4
+)
+
+// Packet is one interconnect packet in flight.
+type Packet struct {
+	ID   uint64
+	Src  int
+	Dst  int
+	Prio int // 0 (lowest) .. 3
+	Long bool
+
+	// Telemetry.
+	InjectCycle  int64
+	DeliverCycle int64
+	Hops         int
+	Deflections  int
+	age          int
+}
+
+func (p *Packet) cycles() int64 {
+	if p.Long {
+		return LongCycles
+	}
+	return ShortCycles
+}
+
+// Config tunes the routers.
+type Config struct {
+	// BufferPool is the shared packet buffer capacity per router,
+	// across all lanes and priorities (the S-Connect common pool).
+	BufferPool int
+	// OQDepth bounds locally-injected packets waiting for the router;
+	// the fall-through path is a single cycle when the router is ready.
+	OQDepth int
+}
+
+// DefaultConfig matches the prototype's modest buffering.
+func DefaultConfig() Config { return Config{BufferPool: 16, OQDepth: 8} }
+
+// router is one node's RT with its IQ and OQ.
+type router struct {
+	id   int
+	pool []*Packet // shared buffer pool (transit packets)
+	oq   []*Packet // locally injected, waiting
+	// linkFree[i] is the cycle at which channel i is next available.
+	linkFree []int64
+
+	MaxPool uint64
+	Refused uint64 // injections deferred because transit had priority
+}
+
+// Network is a cycle-driven simulation of the whole interconnect.
+type Network struct {
+	cfg   Config
+	topo  Topology
+	next  [][][]int
+	hops  [][]int
+	rts   []*router
+	rng   *sim.RNG
+	cycle int64
+	seq   uint64
+
+	inFlight  int
+	arrivals  map[int64][]arrival // packets completing a hop at a cycle
+	Delivered []*Packet
+}
+
+type arrival struct {
+	pkt *Packet
+	at  int
+}
+
+// NewNetwork builds the interconnect over a topology.
+func NewNetwork(cfg Config, topo Topology, seed uint64) (*Network, error) {
+	next, hops, err := routes(topo)
+	if err != nil {
+		return nil, err
+	}
+	n := &Network{
+		cfg:      cfg,
+		topo:     topo,
+		next:     next,
+		hops:     hops,
+		rng:      sim.NewRNG(seed),
+		arrivals: make(map[int64][]arrival),
+	}
+	for i := 0; i < topo.Nodes(); i++ {
+		n.rts = append(n.rts, &router{
+			id:       i,
+			linkFree: make([]int64, len(topo.Neighbors(i))),
+		})
+	}
+	return n, nil
+}
+
+// Cycle returns the current interconnect cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// InFlight returns the number of undelivered packets.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// Inject queues a packet for transmission from src.
+func (n *Network) Inject(src, dst, prio int, long bool) *Packet {
+	if src == dst {
+		panic("noc: self-injection")
+	}
+	n.seq++
+	p := &Packet{ID: n.seq, Src: src, Dst: dst, Prio: prio, Long: long, InjectCycle: n.cycle}
+	rt := n.rts[src]
+	rt.oq = append(rt.oq, p)
+	n.inFlight++
+	return p
+}
+
+// Step advances the network one interconnect cycle.
+func (n *Network) Step() {
+	n.cycle++
+	// 1. Hop completions land in the receiving router's pool or IQ.
+	for _, a := range n.arrivals[n.cycle] {
+		p := a.pkt
+		p.Hops++
+		if a.at == p.Dst {
+			p.DeliverCycle = n.cycle
+			n.Delivered = append(n.Delivered, p)
+			n.inFlight--
+			continue
+		}
+		rt := n.rts[a.at]
+		rt.pool = append(rt.pool, p)
+		if u := uint64(len(rt.pool)); u > rt.MaxPool {
+			rt.MaxPool = u
+		}
+	}
+	delete(n.arrivals, n.cycle)
+
+	// 2. Each router arbitrates its output channels: transit traffic
+	// first (by priority then age — the OQ accepts new packets only
+	// when the router has room), then local injections.
+	for _, rt := range n.rts {
+		n.arbitrate(rt)
+	}
+}
+
+// arbitrate assigns packets to free output channels of one router.
+func (n *Network) arbitrate(rt *router) {
+	neigh := n.topo.Neighbors(rt.id)
+	taken := make([]bool, len(neigh))
+	for i, f := range rt.linkFree {
+		if f > n.cycle {
+			taken[i] = true
+		}
+	}
+
+	// Order transit packets by (priority+age) descending, then age.
+	order := make([]int, len(rt.pool))
+	for i := range order {
+		order[i] = i
+	}
+	eff := func(p *Packet) int { return p.Prio + p.age }
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && eff(rt.pool[order[j]]) > eff(rt.pool[order[j-1]]); j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	var remaining []*Packet
+	channelOf := func(target int) int {
+		for i, v := range neigh {
+			if v == target {
+				return i
+			}
+		}
+		return -1
+	}
+
+	sendOut := func(p *Packet, ch int) {
+		rt.linkFree[ch] = n.cycle + p.cycles()
+		at := n.cycle + p.cycles()
+		n.arrivals[at] = append(n.arrivals[at], arrival{pkt: p, at: neigh[ch]})
+	}
+
+	for _, idx := range order {
+		p := rt.pool[idx]
+		// Preferred: any shortest-path channel that is free. Start the
+		// scan at a random offset so equal-cost paths share the load
+		// (adaptive routing).
+		sent := false
+		pref := n.next[rt.id][p.Dst]
+		off := 0
+		if len(pref) > 1 {
+			off = n.rng.Intn(len(pref))
+		}
+		for k := range pref {
+			hop := pref[(k+off)%len(pref)]
+			if ch := channelOf(hop); ch >= 0 && !taken[ch] {
+				taken[ch] = true
+				sendOut(p, ch)
+				sent = true
+				break
+			}
+		}
+		if sent {
+			continue
+		}
+		// Hot potato: deflect out of any free channel, aging the packet
+		// so it wins arbitration downstream.
+		if len(rt.pool) > n.cfg.BufferPool {
+			for ch := range neigh {
+				if !taken[ch] {
+					taken[ch] = true
+					p.age++
+					p.Deflections++
+					sendOut(p, ch)
+					sent = true
+					break
+				}
+			}
+		}
+		if !sent {
+			// Waiting in the buffer also ages the packet, so starved
+			// traffic eventually outranks everything else.
+			p.age++
+			remaining = append(remaining, p)
+		}
+	}
+	rt.pool = remaining
+
+	// 3. Local injections only when transit traffic left room (the OQ
+	// gives priority to transit). Highest priority first; low priority
+	// must not block high priority.
+	for i := 1; i < len(rt.oq); i++ {
+		for j := i; j > 0 && rt.oq[j].Prio > rt.oq[j-1].Prio; j-- {
+			rt.oq[j], rt.oq[j-1] = rt.oq[j-1], rt.oq[j]
+		}
+	}
+	var oqLeft []*Packet
+	for _, p := range rt.oq {
+		sent := false
+		for _, hop := range n.next[rt.id][p.Dst] {
+			if ch := channelOf(hop); ch >= 0 && !taken[ch] {
+				taken[ch] = true
+				sendOut(p, ch)
+				sent = true
+				break
+			}
+		}
+		if !sent {
+			rt.Refused++
+			oqLeft = append(oqLeft, p)
+		}
+	}
+	rt.oq = oqLeft
+}
+
+// Run steps until all injected packets are delivered or maxCycles pass.
+func (n *Network) Run(maxCycles int64) error {
+	for limit := n.cycle + maxCycles; n.inFlight > 0; {
+		if n.cycle >= limit {
+			return fmt.Errorf("noc: %d packets undelivered after %d cycles", n.inFlight, maxCycles)
+		}
+		n.Step()
+	}
+	return nil
+}
+
+// Stats summarizes delivered-packet telemetry.
+type NetStats struct {
+	Delivered    int
+	AvgLatency   float64 // cycles
+	MaxLatency   int64
+	AvgHops      float64
+	Deflections  uint64
+	MaxPoolDepth uint64
+}
+
+// Stats computes summary statistics over delivered packets.
+func (n *Network) Stats() NetStats {
+	s := NetStats{Delivered: len(n.Delivered)}
+	var totLat, totHops int64
+	for _, p := range n.Delivered {
+		lat := p.DeliverCycle - p.InjectCycle
+		totLat += lat
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+		totHops += int64(p.Hops)
+		s.Deflections += uint64(p.Deflections)
+	}
+	if s.Delivered > 0 {
+		s.AvgLatency = float64(totLat) / float64(s.Delivered)
+		s.AvgHops = float64(totHops) / float64(s.Delivered)
+	}
+	for _, rt := range n.rts {
+		if rt.MaxPool > s.MaxPoolDepth {
+			s.MaxPoolDepth = rt.MaxPool
+		}
+	}
+	return s
+}

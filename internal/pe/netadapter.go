@@ -1,0 +1,85 @@
+package pe
+
+import (
+	"fmt"
+
+	"piranha/internal/noc"
+	"piranha/internal/sim"
+)
+
+// TopologyNetwork backs the protocol fabric with a real interconnect
+// topology: per-hop latency is calibrated by running probe packets
+// through the packet-level router simulation (internal/noc), and each
+// message then pays distance-proportional latency plus per-node egress
+// occupancy. This keeps the fabric's synchronous interface while the
+// detailed hot-potato router model supplies the numbers — and it is how
+// multi-chip experiments see non-uniform distance effects on topologies
+// like rings and tori instead of the flat one-way constant.
+type TopologyNetwork struct {
+	topo    noc.Topology
+	hops    [][]int
+	clock   sim.Clock
+	hopLat  sim.Time // per-hop latency (calibrated)
+	baseLat sim.Time // fixed wire/interface overhead per message
+	egress  []*sim.Server
+
+	Messages uint64
+}
+
+// NewTopologyNetwork calibrates per-hop latency on the given topology
+// and returns the adapter. The interconnect clock is the router clock.
+func NewTopologyNetwork(topo noc.Topology, clock sim.Clock, seed uint64) (*TopologyNetwork, error) {
+	net, err := noc.NewNetwork(noc.DefaultConfig(), topo, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Probe: measure uncontended delivery latency per hop by sending
+	// short packets between increasingly distant node pairs.
+	_, hops, err := nocRoutes(topo)
+	if err != nil {
+		return nil, err
+	}
+	var totalCycles, totalHops int64
+	for dst := 1; dst < topo.Nodes(); dst++ {
+		p := net.Inject(0, dst, 2, false)
+		if err := net.Run(1 << 20); err != nil {
+			return nil, err
+		}
+		totalCycles += p.DeliverCycle - p.InjectCycle
+		totalHops += int64(hops[0][dst])
+	}
+	if totalHops == 0 {
+		return nil, fmt.Errorf("pe: degenerate topology")
+	}
+	t := &TopologyNetwork{
+		topo:    topo,
+		hops:    hops,
+		clock:   clock,
+		hopLat:  clock.Cycles(totalCycles / totalHops),
+		baseLat: 8 * sim.Nanosecond, // interface + synchronization
+	}
+	for i := 0; i < topo.Nodes(); i++ {
+		t.egress = append(t.egress, sim.NewServer(len(topo.Neighbors(i))))
+	}
+	return t, nil
+}
+
+// HopLatency returns the calibrated per-hop latency.
+func (t *TopologyNetwork) HopLatency() sim.Time { return t.hopLat }
+
+// Send implements Network.
+func (t *TopologyNetwork) Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.Time {
+	if from == to {
+		return now
+	}
+	t.Messages++
+	// Channel occupancy: 64 data bits per interconnect cycle.
+	cycles := int64((bytes*8 + 63) / 64)
+	sent := t.egress[from].Acquire(now, t.clock.Cycles(cycles))
+	return sent + t.baseLat + sim.Time(t.hops[from][to])*t.hopLat
+}
+
+// nocRoutes exposes the noc package's BFS route computation.
+func nocRoutes(topo noc.Topology) ([][][]int, [][]int, error) {
+	return noc.Routes(topo)
+}

@@ -1,0 +1,64 @@
+package pe
+
+import (
+	"testing"
+
+	"piranha/internal/cache"
+	"piranha/internal/l2"
+	"piranha/internal/noc"
+	"piranha/internal/sim"
+)
+
+func TestTopologyNetworkCalibration(t *testing.T) {
+	tn, err := NewTopologyNetwork(noc.Torus{W: 4, H: 4}, sim.MHz(500), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.HopLatency() <= 0 {
+		t.Fatal("no hop latency calibrated")
+	}
+	// Neighbor vs opposite corner: 1 hop vs 4 hops on a 4x4 torus.
+	near := tn.Send(0, 0, 1, ShortPacket, prioHigh)
+	far := tn.Send(0, 0, 10, ShortPacket, prioHigh)
+	if far <= near {
+		t.Fatalf("distance should cost: near=%d far=%d", near, far)
+	}
+	if d := far - near; d < 3*tn.HopLatency()-sim.Nanosecond || d > 3*tn.HopLatency()+sim.Nanosecond {
+		t.Fatalf("latency delta %d, want ~3 hops (%d)", d, 3*tn.HopLatency())
+	}
+	// Self-sends are free.
+	if tn.Send(100, 3, 3, ShortPacket, prioLow) != 100 {
+		t.Fatal("self-send should be immediate")
+	}
+}
+
+func TestTopologyNetworkDrivesProtocol(t *testing.T) {
+	// A 4-node ring fabric: reads to an adjacent home must be faster
+	// than reads to the two-hop-distant home.
+	tn, err := NewTopologyNetwork(noc.Ring{N: 4}, sim.MHz(500), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFabric(DefaultConfig(4), tn)
+	// Node 0 fetches lines homed at node 1 (1 hop) and node 2 (2 hops).
+	line1 := lineHomed(f, 1)
+	line2 := lineHomed(f, 2)
+	d1, _, _ := f.Proto(0).Fetch(0, l2.Read, line1)
+	d2, _, _ := f.Proto(0).Fetch(0, l2.Read, line2)
+	if d2 <= d1 {
+		t.Fatalf("2-hop home (%d) should be slower than 1-hop (%d)", d2, d1)
+	}
+	if tn.Messages == 0 {
+		t.Fatal("no messages counted")
+	}
+}
+
+// lineHomed finds a line whose home is the given node.
+func lineHomed(f *Fabric, n NodeID) cache.LineAddr {
+	for page := uint64(0); ; page++ {
+		cand := cache.LineAddr(page << 7) // 8 KB page = 128 lines
+		if f.HomeOf(cand) == n {
+			return cand
+		}
+	}
+}

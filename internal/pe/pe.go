@@ -1,0 +1,269 @@
+// Package pe implements Piranha's protocol engines and inter-node cache
+// coherence protocol (paper §2.5).
+//
+// Each processing node has two microprogrammable engines: the home engine
+// (HE) exports memory whose home is the local node, the remote engine (RE)
+// imports memory homed elsewhere. Each engine has a 16-entry transaction
+// state register file (TSRF); a transaction occupies an entry for its
+// duration, bounding concurrency.
+//
+// The protocol is invalidation-based with four request types (read,
+// read-exclusive, exclusive/upgrade, exclusive-without-data) and these
+// distinguishing features, all modeled here:
+//
+//   - Clean-exclusive optimization: a read returns an exclusive copy when
+//     no other node shares the line.
+//   - Reply forwarding: a dirty remote read is 3-hop — requester -> home
+//     -> owner -> requester — and the home completes its directory update
+//     immediately, with no "ownership change" confirmation message (the
+//     DASH-style baseline in this package sends one, for the ablation).
+//   - Eager exclusive replies: ownership is granted before invalidation
+//     acknowledgments arrive; acks are gathered at the requesting node.
+//   - No NAKs, no retries: forwarded requests are always serviceable
+//     (owners hold data until writebacks are acknowledged; early
+//     forwarded requests are delayed at the owner), so the protocol has
+//     no livelock or starvation. The baseline engine NAKs under conflict
+//     and retries, for comparison.
+//   - Cruise-missile invalidates (CMI): a write to a widely-shared line
+//     injects only a handful of invalidation messages; each visits a
+//     predetermined subset of sharers serially and the last node in each
+//     subset acknowledges, bounding both injected messages and buffering.
+//
+// Directory state is stored in the spare ECC bits of the home node's
+// memory (see internal/ecc and internal/directory); reading a line's
+// directory costs a memory access at the home unless the home's L2 has
+// the line on chip.
+package pe
+
+import (
+	"fmt"
+
+	"piranha/internal/cache"
+	"piranha/internal/directory"
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+)
+
+// NodeID identifies a node (processing or I/O chip).
+type NodeID = directory.NodeID
+
+// Network is the transport the engines send messages over. The fabric
+// only needs point-to-point latency; detailed routing, deflection and
+// buffering live in internal/noc, which can back this interface.
+type Network interface {
+	// Send delivers a message of size bytes from a to b, returning the
+	// arrival time.
+	Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.Time
+}
+
+// Packet sizes (paper §2.6.1): short packets are 128 bits, long packets
+// carry a 64-byte line as well.
+const (
+	ShortPacket = 16
+	LongPacket  = 16 + cache.LineBytes
+)
+
+// FlatNetwork is a fixed-latency, per-node-egress-bandwidth network model
+// used when full NoC simulation is not needed; the latency is calibrated
+// so end-to-end remote accesses match Table 1 (120 ns clean, 180 ns
+// dirty).
+type FlatNetwork struct {
+	OneWay sim.Time
+	// egress models each node's four outbound channels.
+	egress map[NodeID]*sim.Pool
+	clock  sim.Clock
+}
+
+// NewFlatNetwork returns a flat network with the given one-way latency.
+func NewFlatNetwork(oneWay sim.Time) *FlatNetwork {
+	return &FlatNetwork{OneWay: oneWay, egress: make(map[NodeID]*sim.Pool), clock: sim.MHz(500)}
+}
+
+// Send implements Network.
+func (n *FlatNetwork) Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.Time {
+	if from == to {
+		return now
+	}
+	p := n.egress[from]
+	if p == nil {
+		p = sim.NewPool(fmt.Sprintf("node%d-out", from), 4)
+		n.egress[from] = p
+	}
+	// Channel occupancy: 64 data bits per interconnect cycle.
+	cycles := int64((bytes*8 + 63) / 64)
+	sent := p.Acquire(now, n.clock.Cycles(cycles))
+	return sent + n.OneWay
+}
+
+// Config holds the protocol-engine and fabric parameters.
+type Config struct {
+	// Nodes is the number of nodes in the system.
+	Nodes int
+	// TSRFEntries per engine (16 in the prototype).
+	TSRFEntries int
+	// HomeOccupancy/RemoteOccupancy are the per-message processing
+	// times of the microcoded engines (a handful of instructions at
+	// 500 MHz dual-threaded: tens of nanoseconds).
+	HomeOccupancy   sim.Time
+	RemoteOccupancy sim.Time
+	// MemLatency is the home memory access for data+directory.
+	MemLatency sim.Time
+	// UseCMI selects cruise-missile invalidates over home-broadcast.
+	UseCMI bool
+	// CMIFanout is the number of invalidation messages injected per
+	// write (each visits ceil(sharers/fanout) nodes).
+	CMIFanout int
+	// Baseline switches to the DASH-style NAK+retry protocol with
+	// ownership-change confirmations (ablation only).
+	Baseline bool
+	// RetryDelay is the baseline's NAK retry backoff.
+	RetryDelay sim.Time
+}
+
+// DefaultConfig is calibrated to Table 1's remote latencies with the
+// prototype's 16-entry TSRFs.
+func DefaultConfig(nodes int) Config {
+	return Config{
+		Nodes:           nodes,
+		TSRFEntries:     16,
+		HomeOccupancy:   12 * sim.Nanosecond,
+		RemoteOccupancy: 10 * sim.Nanosecond,
+		MemLatency:      60 * sim.Nanosecond,
+		UseCMI:          true,
+		CMIFanout:       4,
+		RetryDelay:      100 * sim.Nanosecond,
+	}
+}
+
+// EngineStats counts one engine's activity.
+type EngineStats struct {
+	Transactions uint64
+	Messages     uint64 // messages this engine emitted
+	NAKs         uint64 // baseline only
+	Retries      uint64 // baseline only
+	Occupancy    sim.Time
+	// Recoveries counts TSRF entries reclaimed by the timeout-based
+	// error recovery (§2.7: failed transactions are detected via their
+	// TSRF timers and handed to recovery software).
+	Recoveries uint64
+}
+
+// Engine is one protocol engine (home or remote) of one node.
+type Engine struct {
+	Name  string
+	tsrf  *sim.Pool
+	occ   sim.Time
+	Stats EngineStats
+}
+
+func newEngine(name string, entries int, occ sim.Time) *Engine {
+	return &Engine{Name: name, tsrf: sim.NewPool(name, entries), occ: occ}
+}
+
+// process charges one message-handling step: a TSRF entry is (re)used for
+// the engine occupancy. hold extends the entry's reservation (a thread in
+// waiting state keeps its TSRF entry for the transaction's duration).
+func (e *Engine) process(now sim.Time, hold sim.Time) sim.Time {
+	d := e.occ
+	if hold > d {
+		d = hold
+	}
+	done := e.tsrf.Acquire(now, d)
+	e.Stats.Transactions++
+	e.Stats.Occupancy += e.occ
+	return done - d + e.occ // processing completes after occupancy; entry stays held
+}
+
+// Recover scans the engine's TSRF for transactions outstanding longer
+// than timeout (a lost reply, a failed node) and reclaims their entries,
+// encapsulating the state for recovery software. Returns the number of
+// transactions recovered.
+func (e *Engine) Recover(now, timeout sim.Time) int {
+	n := e.tsrf.RecoverStale(now, timeout)
+	e.Stats.Recoveries += uint64(n)
+	return n
+}
+
+// send emits one message and counts it.
+func (e *Engine) send(n Network, now sim.Time, from, to NodeID, bytes, prio int) sim.Time {
+	e.Stats.Messages++
+	return n.Send(now, from, to, bytes, prio)
+}
+
+// node is the per-chip protocol state.
+type node struct {
+	id     NodeID
+	l2     *l2.L2
+	home   *Engine
+	remote *Engine
+	// dir holds the encoded 44-bit directory entries for home lines
+	// (stored in the ECC bits of memory; absent means Uncached).
+	dir map[cache.LineAddr]uint64
+}
+
+// Fabric is the multi-node coherence domain: all nodes' engines, the
+// directory storage, and the interconnect.
+type Fabric struct {
+	cfg   Config
+	dcfg  directory.Config
+	net   Network
+	nodes []*node
+
+	// Global protocol statistics.
+	InvalsSent  uint64
+	InvalMsgs   uint64 // invalidation messages injected (CMI collapses these)
+	InvalAcks   uint64
+	ThreeHop    uint64
+	DirtyShares uint64
+}
+
+// NewFabric builds an n-node coherence domain over the given network.
+func NewFabric(cfg Config, net Network) *Fabric {
+	f := &Fabric{cfg: cfg, dcfg: directory.Config{Nodes: cfg.Nodes}, net: net}
+	for i := 0; i < cfg.Nodes; i++ {
+		f.nodes = append(f.nodes, &node{
+			id:     NodeID(i),
+			home:   newEngine(fmt.Sprintf("HE%d", i), cfg.TSRFEntries, cfg.HomeOccupancy),
+			remote: newEngine(fmt.Sprintf("RE%d", i), cfg.TSRFEntries, cfg.RemoteOccupancy),
+			dir:    make(map[cache.LineAddr]uint64),
+		})
+	}
+	return f
+}
+
+// BindL2 attaches a chip's L2 to its node (two-phase init: the L2 needs
+// the node's Remote adapter at construction, the fabric needs the L2).
+func (f *Fabric) BindL2(id NodeID, l *l2.L2) { f.nodes[id].l2 = l }
+
+// Proto returns the l2.Remote adapter for the given node.
+func (f *Fabric) Proto(id NodeID) *NodeProto { return &NodeProto{f: f, id: id} }
+
+// HomeOf returns the node whose memory holds the line (8 KB page
+// interleave across nodes).
+func (f *Fabric) HomeOf(l cache.LineAddr) NodeID {
+	page := uint64(l) >> (cache.PageShift - cache.LineShift)
+	return NodeID(page % uint64(f.cfg.Nodes))
+}
+
+// Engines returns a node's home and remote engines (stats inspection).
+func (f *Fabric) Engines(id NodeID) (he, re *Engine) {
+	return f.nodes[id].home, f.nodes[id].remote
+}
+
+// dirEntry decodes a home line's directory entry.
+func (f *Fabric) dirEntry(h *node, line cache.LineAddr) directory.Entry {
+	return directory.Decode(f.dcfg, h.dir[line])
+}
+
+// setDir encodes and stores a directory entry.
+func (f *Fabric) setDir(h *node, line cache.LineAddr, e directory.Entry) {
+	bits, err := directory.Encode(f.dcfg, e)
+	if err != nil {
+		panic("pe: " + err.Error())
+	}
+	if bits == 0 {
+		delete(h.dir, line)
+		return
+	}
+	h.dir[line] = bits
+}

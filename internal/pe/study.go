@@ -1,0 +1,60 @@
+package pe
+
+import (
+	"piranha/internal/cache"
+	"piranha/internal/directory"
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+)
+
+// InvalidateStudy invalidates a synthetic line shared by k remote nodes
+// (home is node 0, requester the last node) and returns the number of
+// invalidation messages injected and the time until the final
+// acknowledgment reaches the requester. Used for the §2.5.3
+// cruise-missile-invalidate comparison.
+func (f *Fabric) InvalidateStudy(k int) (uint64, sim.Time) {
+	h := f.nodes[0]
+	entry := directory.Clear()
+	var sharers []NodeID
+	for i := 1; i <= k && i < f.cfg.Nodes-1; i++ {
+		n := NodeID(i)
+		sharers = append(sharers, n)
+		entry = directory.AddSharer(f.dcfg, entry, n)
+	}
+	f.setDir(h, 0x40, entry)
+	ack := f.invalidate(0, h, NodeID(f.cfg.Nodes-1), 0x40, sharers)
+	return f.InvalMsgs, ack
+}
+
+// ContentionStudy drives a conflict-heavy transaction mix (alternating
+// exclusive requests to a few hot home-local lines, so three-hop
+// forwards and directory conflicts are frequent) against a fabric with
+// small TSRFs, and reports total protocol messages, home-engine
+// occupancy, NAKs and retries. It is the §2.5.3 NAK-free-vs-DASH
+// ablation harness.
+func ContentionStudy(baseline bool, nodes, txns int) (msgs uint64, occ sim.Time, naks, retries uint64, n int) {
+	cfg := DefaultConfig(nodes)
+	cfg.Baseline = baseline
+	cfg.UseCMI = !baseline
+	cfg.TSRFEntries = 4 // small, so bursts saturate the home engine
+	f := NewFabric(cfg, NewFlatNetwork(25*sim.Nanosecond))
+	rng := sim.NewRNG(99)
+	now := sim.Time(0)
+	for i := 0; i < txns; i++ {
+		req := NodeID(1 + rng.Intn(nodes-1))
+		line := cache.LineAddr(rng.Intn(8)) // 8 hot lines, all homed at 0
+		kind := l2.ReadEx
+		if rng.Bool(0.4) {
+			kind = l2.Read
+		}
+		f.Proto(req).Fetch(now, kind, line)
+		now += sim.Time(20+rng.Intn(30)) * sim.Nanosecond
+	}
+	for _, nd := range f.nodes {
+		msgs += nd.home.Stats.Messages + nd.remote.Stats.Messages
+		occ += nd.home.Stats.Occupancy
+		naks += nd.home.Stats.NAKs
+		retries += nd.home.Stats.Retries
+	}
+	return msgs, occ, naks, retries, txns
+}

@@ -1,0 +1,43 @@
+package ras
+
+import (
+	"piranha/internal/cache"
+	"piranha/internal/cpu"
+)
+
+// Lockstep is the dual-redundant-execution checker of §2.7: two cores
+// execute the same stream and the checker compares a running fingerprint
+// of their retired operations (opcode + address), flagging the first
+// divergence. In hardware the protocol engines would perform this check
+// on the results of dual-redundant computation; the fingerprint stands
+// in for the compared results since the simulator carries no data values.
+type Lockstep struct {
+	fp  [2]uint64
+	ops [2]uint64
+	// DivergedAt is the operation index of the first mismatch (0 = none).
+	DivergedAt uint64
+}
+
+// fold mixes one op into a fingerprint.
+func fold(h uint64, kind cpu.OpKind, a cache.Addr, n int32) uint64 {
+	h ^= uint64(kind) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= uint64(a) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h ^= uint64(uint32(n)) + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	return h
+}
+
+// Observe records one retired op of replica i (0 or 1) and checks for
+// divergence once both replicas have retired the same count.
+func (l *Lockstep) Observe(i int, kind cpu.OpKind, a cache.Addr, n int32) {
+	l.fp[i] = fold(l.fp[i], kind, a, n)
+	l.ops[i]++
+	if l.DivergedAt == 0 && l.ops[0] == l.ops[1] && l.fp[0] != l.fp[1] {
+		l.DivergedAt = l.ops[0]
+	}
+}
+
+// Diverged reports whether the replicas have disagreed.
+func (l *Lockstep) Diverged() bool { return l.DivergedAt != 0 }
+
+// Retired returns each replica's retired-op count.
+func (l *Lockstep) Retired() (uint64, uint64) { return l.ops[0], l.ops[1] }

@@ -1,0 +1,177 @@
+// Package ras implements the reliability/availability/serviceability
+// hooks of paper §2.7. Piranha's programmable protocol engines can change
+// the semantics of memory accesses, which enables:
+//
+//   - Persistent memory regions: memory that survives power failures and
+//     crashes, with capability checks on access and persistent-memory
+//     barriers that force volatile (cached) state to safe memory —
+//     letting databases commit without a disk write.
+//   - Memory mirroring: writes to protected regions are transparently
+//     duplicated on a mirror node, so a node failure loses no data.
+//   - Dual-redundant execution: two cores run the same stream and a
+//     checker compares their retired-operation fingerprints.
+//   - Protocol error recovery: each in-flight transaction's TSRF entry
+//     carries its state; timed-out transactions are encapsulated and
+//     handed to recovery software rather than wedging the engine.
+package ras
+
+import (
+	"fmt"
+
+	"piranha/internal/cache"
+	"piranha/internal/core"
+	"piranha/internal/cpu"
+	"piranha/internal/sim"
+)
+
+// Region is a protected physical address range.
+type Region struct {
+	Lo, Hi cache.Addr
+	// Writers holds the capability set: CPU IDs allowed to write.
+	// Empty means unrestricted.
+	Writers map[int]bool
+	// Mirror enables write duplication to a mirror memory.
+	Mirror bool
+}
+
+// Contains reports whether an address falls in the region.
+func (r Region) Contains(a cache.Addr) bool { return a >= r.Lo && a < r.Hi }
+
+// Manager wraps a chip with RAS semantics. The simulator carries no data
+// values, so durability is modeled with per-line version numbers: a
+// write bumps the volatile version; a persist barrier copies volatile
+// versions into the persistent image; a crash discards everything not
+// persisted (matching exactly what the hardware's caches would lose).
+type Manager struct {
+	chip    *core.Chip
+	regions []Region
+
+	volatileV  map[cache.LineAddr]uint64 // version in cache hierarchy
+	persistedV map[cache.LineAddr]uint64 // version in safe memory
+	mirrorV    map[cache.LineAddr]uint64 // version on the mirror node
+
+	// MirrorLatency is the extra time a mirrored write pays (the
+	// protocol engine forwards a copy to the mirror node).
+	MirrorLatency sim.Time
+
+	// Stats.
+	Writes           uint64
+	MirroredWrites   uint64
+	CapabilityFaults uint64
+	Barriers         uint64
+	FlushedLines     uint64
+}
+
+// NewManager wraps a chip.
+func NewManager(chip *core.Chip) *Manager {
+	return &Manager{
+		chip:          chip,
+		volatileV:     make(map[cache.LineAddr]uint64),
+		persistedV:    make(map[cache.LineAddr]uint64),
+		mirrorV:       make(map[cache.LineAddr]uint64),
+		MirrorLatency: 120 * sim.Nanosecond,
+	}
+}
+
+// Protect registers a region.
+func (m *Manager) Protect(r Region) { m.regions = append(m.regions, r) }
+
+// regionOf returns the protected region containing a, if any.
+func (m *Manager) regionOf(a cache.Addr) *Region {
+	for i := range m.regions {
+		if m.regions[i].Contains(a) {
+			return &m.regions[i]
+		}
+	}
+	return nil
+}
+
+// Write performs a store with RAS semantics: capability check, version
+// bump, optional mirroring. It returns the completion time.
+func (m *Manager) Write(now sim.Time, cpuID int, a cache.Addr) (sim.Time, error) {
+	r := m.regionOf(a)
+	if r != nil && len(r.Writers) > 0 && !r.Writers[cpuID] {
+		// The protocol engine intervenes and rejects the access.
+		m.CapabilityFaults++
+		return now, fmt.Errorf("ras: cpu %d lacks write capability for %#x", cpuID, a)
+	}
+	done, _ := m.chip.Access(now, cpuID, cpu.Store, a)
+	m.Writes++
+	m.volatileV[a.Line()]++
+	if r != nil && r.Mirror {
+		// The engine forwards a copy to the mirror node (charged off
+		// the critical path; the paper's engines do this on the
+		// memory-access intervention path).
+		m.MirroredWrites++
+		m.mirrorV[a.Line()] = m.volatileV[a.Line()]
+		done += m.MirrorLatency
+	}
+	return done, nil
+}
+
+// Read performs a load (no RAS intervention needed for reads of
+// unrestricted regions).
+func (m *Manager) Read(now sim.Time, cpuID int, a cache.Addr) sim.Time {
+	done, _ := m.chip.Access(now, cpuID, cpu.Load, a)
+	return done
+}
+
+// PersistBarrier flushes every dirty cached line of the region to safe
+// memory and marks their versions persistent — the commit primitive that
+// replaces a disk/NVRAM write at transaction boundaries.
+func (m *Manager) PersistBarrier(now sim.Time, r Region) (sim.Time, int) {
+	m.Barriers++
+	flushed := 0
+	t := now
+	for _, line := range m.chip.L2.DirtyLines(r.Lo, r.Hi) {
+		if ok, done := m.chip.L2.FlushDirty(t, line); ok {
+			flushed++
+			if done > t {
+				t = done
+			}
+		}
+	}
+	// All volatile versions inside the region are now in safe memory.
+	for line, v := range m.volatileV {
+		if r.Contains(line.Addr()) {
+			m.persistedV[line] = v
+		}
+	}
+	m.FlushedLines += uint64(flushed)
+	return t, flushed
+}
+
+// Crash models a power failure: all cache state is lost; memory (and the
+// mirror) survive. Versions not persisted are gone.
+func (m *Manager) Crash() (lostDirtyLines int) {
+	lost := m.chip.L2.CrashVolatile()
+	m.volatileV = make(map[cache.LineAddr]uint64)
+	return lost
+}
+
+// PersistedVersion reports a line's version in safe memory.
+func (m *Manager) PersistedVersion(l cache.LineAddr) uint64 { return m.persistedV[l] }
+
+// MirrorVersion reports a line's version on the mirror node.
+func (m *Manager) MirrorVersion(l cache.LineAddr) uint64 { return m.mirrorV[l] }
+
+// CurrentVersion reports a line's latest written version.
+func (m *Manager) CurrentVersion(l cache.LineAddr) uint64 {
+	if v, ok := m.volatileV[l]; ok {
+		return v
+	}
+	return m.persistedV[l]
+}
+
+// RecoverFromMirror restores the persistent image from the mirror after
+// a primary-memory failure, returning how many lines were recovered.
+func (m *Manager) RecoverFromMirror() int {
+	n := 0
+	for line, v := range m.mirrorV {
+		if m.persistedV[line] < v {
+			m.persistedV[line] = v
+			n++
+		}
+	}
+	return n
+}

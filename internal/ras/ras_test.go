@@ -1,0 +1,161 @@
+package ras
+
+import (
+	"testing"
+
+	"piranha/internal/cache"
+	"piranha/internal/core"
+	"piranha/internal/cpu"
+	"piranha/internal/l2"
+	"piranha/internal/sim"
+)
+
+func newChip() *core.Chip {
+	return core.NewChip(core.PiranhaChip(2), l2.LocalOnly{})
+}
+
+func TestPersistentRegionSurvivesCrash(t *testing.T) {
+	m := NewManager(newChip())
+	region := Region{Lo: 0x100000, Hi: 0x200000}
+	m.Protect(region)
+	a := cache.Addr(0x100040)
+
+	// Write, barrier, write again, crash.
+	now, err := m.Write(0, 0, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now, flushed := m.PersistBarrier(now, region)
+	if flushed == 0 {
+		t.Fatal("barrier flushed nothing")
+	}
+	now, _ = m.Write(now, 0, a) // version 2, volatile only
+	lost := m.Crash()
+	if lost == 0 {
+		t.Fatal("crash lost no dirty state (second write should be volatile)")
+	}
+	// Version 1 persisted; version 2 lost — exactly the barrier's contract.
+	if v := m.PersistedVersion(a.Line()); v != 1 {
+		t.Fatalf("persisted version %d, want 1", v)
+	}
+	if v := m.CurrentVersion(a.Line()); v != 1 {
+		t.Fatalf("post-crash version %d, want 1", v)
+	}
+}
+
+func TestBarrierCost(t *testing.T) {
+	m := NewManager(newChip())
+	region := Region{Lo: 0, Hi: 1 << 20}
+	m.Protect(region)
+	now := sim.Time(0)
+	for i := 0; i < 32; i++ {
+		now, _ = m.Write(now, 0, cache.Addr(i*4096))
+	}
+	done, flushed := m.PersistBarrier(now, region)
+	if flushed != 32 {
+		t.Fatalf("flushed %d lines, want 32", flushed)
+	}
+	if done <= now {
+		t.Fatal("barrier must cost memory-write time")
+	}
+}
+
+func TestCapabilityCheck(t *testing.T) {
+	m := NewManager(newChip())
+	m.Protect(Region{Lo: 0x100000, Hi: 0x200000, Writers: map[int]bool{0: true}})
+	if _, err := m.Write(0, 1, 0x100000); err == nil {
+		t.Fatal("unauthorized CPU wrote a protected region")
+	}
+	if m.CapabilityFaults != 1 {
+		t.Fatalf("faults %d", m.CapabilityFaults)
+	}
+	if _, err := m.Write(0, 0, 0x100000); err != nil {
+		t.Fatalf("authorized write rejected: %v", err)
+	}
+	// Unprotected addresses are unrestricted.
+	if _, err := m.Write(0, 1, 0x900000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMirroringSurvivesPrimaryFailure(t *testing.T) {
+	m := NewManager(newChip())
+	m.Protect(Region{Lo: 0x100000, Hi: 0x200000, Mirror: true})
+	a := cache.Addr(0x100040)
+	m.Write(0, 0, a)
+	m.Write(100*sim.Nanosecond, 0, a)
+	if m.MirroredWrites != 2 {
+		t.Fatalf("mirrored writes %d", m.MirroredWrites)
+	}
+	// Primary memory fails before any persist barrier ran.
+	m.Crash()
+	if m.PersistedVersion(a.Line()) != 0 {
+		t.Fatal("nothing should be persisted on the primary")
+	}
+	if n := m.RecoverFromMirror(); n != 1 {
+		t.Fatalf("recovered %d lines from mirror, want 1", n)
+	}
+	if v := m.PersistedVersion(a.Line()); v != 2 {
+		t.Fatalf("recovered version %d, want 2", v)
+	}
+}
+
+func TestMirrorWriteLatency(t *testing.T) {
+	m := NewManager(newChip())
+	m.Protect(Region{Lo: 0x100000, Hi: 0x200000, Mirror: true})
+	dPlain, _ := m.Write(0, 0, 0x900000)
+	dMirror, _ := m.Write(0, 0, 0x100000)
+	if dMirror-dPlain < m.MirrorLatency/2 {
+		t.Fatalf("mirrored write should pay forwarding latency: %d vs %d", dMirror, dPlain)
+	}
+}
+
+func TestCrashClearsCaches(t *testing.T) {
+	chip := newChip()
+	m := NewManager(chip)
+	a := cache.Addr(0x40)
+	chip.Access(0, 0, cpu.Store, a)
+	if chip.DL1[0].State(a.Line()) != cache.Modified {
+		t.Fatal("setup")
+	}
+	m.Crash()
+	if chip.DL1[0].State(a.Line()) != cache.Invalid {
+		t.Fatal("crash left cache state behind")
+	}
+	if err := chip.L2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockstepAgreement(t *testing.T) {
+	var l Lockstep
+	for i := 0; i < 1000; i++ {
+		l.Observe(0, cpu.KLoad, cache.Addr(i*64), 1)
+		l.Observe(1, cpu.KLoad, cache.Addr(i*64), 1)
+	}
+	if l.Diverged() {
+		t.Fatal("identical streams flagged")
+	}
+	a, b := l.Retired()
+	if a != 1000 || b != 1000 {
+		t.Fatalf("retired %d/%d", a, b)
+	}
+}
+
+func TestLockstepDetectsFault(t *testing.T) {
+	var l Lockstep
+	for i := 0; i < 500; i++ {
+		l.Observe(0, cpu.KLoad, cache.Addr(i*64), 1)
+		addr := cache.Addr(i * 64)
+		if i == 250 {
+			addr ^= 0x40 // injected single-event upset in replica 1
+		}
+		l.Observe(1, cpu.KLoad, addr, 1)
+	}
+	if !l.Diverged() {
+		t.Fatal("fault not detected")
+	}
+	if l.DivergedAt != 251 {
+		t.Fatalf("diverged at op %d, want 251", l.DivergedAt)
+	}
+}

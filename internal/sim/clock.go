@@ -1,0 +1,37 @@
+package sim
+
+// Clock converts between cycle counts of a fixed-frequency clock domain and
+// simulated time. Piranha has several domains: the 500 MHz core/ICS clock,
+// the interconnect clock, and the Rambus channel timing.
+type Clock struct {
+	// Period is the duration of one cycle in picoseconds.
+	Period Time
+}
+
+// MHz returns a Clock with the given frequency in megahertz.
+// The frequency must divide 1e6 MHz·ps evenly for common values
+// (500 MHz → 2000 ps, 1000 MHz → 1000 ps, 1250 MHz → 800 ps).
+func MHz(f int64) Clock { return Clock{Period: Time(1_000_000 / f * 1)} }
+
+// GHzX1000 returns a Clock for f/1000 GHz, e.g. GHzX1000(1250) = 1.25 GHz.
+func GHzX1000(f int64) Clock { return Clock{Period: Time(1_000_000_000 / (f * 1000))} }
+
+// Cycles converts a cycle count to a duration.
+func (c Clock) Cycles(n int64) Time { return Time(n) * c.Period }
+
+// ToCycles converts a duration to a whole number of cycles, rounding up.
+// A zero-period clock (unset) yields zero.
+func (c Clock) ToCycles(d Time) int64 {
+	if c.Period == 0 {
+		return 0
+	}
+	return int64((d + c.Period - 1) / c.Period)
+}
+
+// Freq returns the frequency in MHz.
+func (c Clock) Freq() int64 {
+	if c.Period == 0 {
+		return 0
+	}
+	return int64(1_000_000 / c.Period)
+}

@@ -1,0 +1,122 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// used by every timing model in the Piranha simulator.
+//
+// Time is measured in integer picoseconds so that the 500 MHz ASIC core
+// (2000 ps/cycle), the 1 GHz out-of-order core (1000 ps/cycle), and the
+// 1.25 GHz full-custom core (800 ps/cycle) all have exact periods. The
+// engine executes events from a binary heap ordered by (time, sequence
+// number); ties are broken by insertion order, which makes every simulation
+// run bit-for-bit reproducible.
+package sim
+
+import "container/heap"
+
+// Time is a simulated instant or duration in picoseconds.
+type Time int64
+
+// Common durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	do  func()
+}
+
+// eventHeap implements heap.Interface ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	nRun   uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.nRun }
+
+// Pending returns the number of scheduled, not-yet-executed events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs do at absolute time at. Scheduling in the past panics:
+// it always indicates a model bug, and silently reordering time would
+// corrupt every downstream statistic.
+func (e *Engine) Schedule(at Time, do func()) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, do: do})
+}
+
+// After runs do d picoseconds from now.
+func (e *Engine) After(d Time, do func()) { e.Schedule(e.now+d, do) }
+
+// Step executes the next event, if any, and reports whether one ran.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.nRun++
+	ev.do()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline. Events scheduled
+// beyond the deadline remain queued; the clock is left at the last executed
+// event (or advanced to deadline if nothing remains before it).
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunWhile executes events until cond() becomes false or the queue drains.
+func (e *Engine) RunWhile(cond func() bool) {
+	for cond() && e.Step() {
+	}
+}

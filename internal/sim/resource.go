@@ -1,0 +1,182 @@
+package sim
+
+// Resource models a serially-occupied hardware unit (an L2 bank's control
+// pipeline, a Rambus channel, an ICS datapath, a router link). A request
+// arriving at time t with service time s begins at max(t, nextFree) and
+// completes at begin+s. This captures queueing delay without simulating
+// the queue entries individually, which is exact for FIFO service.
+type Resource struct {
+	Name     string
+	nextFree Time
+
+	// Accumulated statistics.
+	Requests uint64
+	BusyTime Time
+	WaitTime Time
+	MaxWait  Time
+}
+
+// Acquire reserves the resource for service duration s starting no earlier
+// than now, and returns the completion time.
+func (r *Resource) Acquire(now Time, s Time) (done Time) {
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	wait := start - now
+	r.Requests++
+	r.WaitTime += wait
+	if wait > r.MaxWait {
+		r.MaxWait = wait
+	}
+	r.BusyTime += s
+	r.nextFree = start + s
+	return r.nextFree
+}
+
+// NextFree returns the earliest time the resource is available.
+func (r *Resource) NextFree() Time { return r.nextFree }
+
+// Utilization returns busy time as a fraction of the elapsed time span.
+func (r *Resource) Utilization(elapsed Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BusyTime) / float64(elapsed)
+}
+
+// AvgWait returns the mean queueing delay per request in picoseconds.
+func (r *Resource) AvgWait() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.WaitTime) / float64(r.Requests)
+}
+
+// Pool models a unit with k identical servers (e.g. the 16 TSRF entries of
+// a protocol engine, or the MSHRs of an out-of-order core). Requests are
+// served FIFO by the earliest-free server.
+type Pool struct {
+	Name string
+	free []Time // next-free time per server
+	// heldSince records when an open-ended Reserve claimed each server
+	// (zero when the server is not under an open reservation).
+	heldSince []Time
+
+	Requests uint64
+	WaitTime Time
+	MaxWait  Time
+	BusyTime Time
+}
+
+// NewPool returns a Pool with k servers, all free at time zero.
+func NewPool(name string, k int) *Pool {
+	if k < 1 {
+		k = 1
+	}
+	return &Pool{Name: name, free: make([]Time, k), heldSince: make([]Time, k)}
+}
+
+// Size returns the number of servers.
+func (p *Pool) Size() int { return len(p.free) }
+
+// Acquire allocates the earliest-available server for duration s starting
+// no earlier than now and returns the completion time.
+func (p *Pool) Acquire(now Time, s Time) (done Time) {
+	// Find the server that frees up first.
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start := now
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	wait := start - now
+	p.Requests++
+	p.WaitTime += wait
+	if wait > p.MaxWait {
+		p.MaxWait = wait
+	}
+	p.BusyTime += s
+	p.free[best] = start + s
+	return p.free[best]
+}
+
+// Reserve claims the earliest-available server starting no earlier than
+// now, returning the start time and a release function the caller invokes
+// with the actual end time once the work's duration is known. Useful for
+// holdings whose length depends on downstream events (e.g. a TSRF entry
+// held for a whole coherence transaction).
+func (p *Pool) Reserve(now Time) (start Time, release func(end Time)) {
+	best := 0
+	for i := 1; i < len(p.free); i++ {
+		if p.free[i] < p.free[best] {
+			best = i
+		}
+	}
+	start = now
+	if p.free[best] > start {
+		start = p.free[best]
+	}
+	wait := start - now
+	p.Requests++
+	p.WaitTime += wait
+	if wait > p.MaxWait {
+		p.MaxWait = wait
+	}
+	// Mark the server busy indefinitely until released.
+	p.free[best] = start + reservedMark // placeholder; release overwrites
+	p.heldSince[best] = start + 1       // +1 so a t=0 reservation is visible
+	i := best
+	return start, func(end Time) {
+		if end < start {
+			end = start
+		}
+		p.BusyTime += end - start
+		p.free[i] = end
+		p.heldSince[i] = 0
+	}
+}
+
+// reservedMark flags a server under an open-ended reservation.
+const reservedMark Time = 1 << 40
+
+// RecoverStale force-releases open reservations older than timeout — the
+// protocol engines' error recovery: a transaction whose response never
+// arrived is detected by its TSRF timer and its entry reclaimed (its
+// state would be encapsulated for recovery software). Returns how many
+// entries were recovered.
+func (p *Pool) RecoverStale(now, timeout Time) int {
+	n := 0
+	for i, h := range p.heldSince {
+		if h != 0 && now-(h-1) > timeout {
+			p.BusyTime += now - (h - 1)
+			p.free[i] = now
+			p.heldSince[i] = 0
+			n++
+		}
+	}
+	return n
+}
+
+// InUse reports how many servers are busy at time t.
+func (p *Pool) InUse(t Time) int {
+	n := 0
+	for _, f := range p.free {
+		if f > t {
+			n++
+		}
+	}
+	return n
+}
+
+// AvgWait returns the mean queueing delay per request in picoseconds.
+func (p *Pool) AvgWait() float64 {
+	if p.Requests == 0 {
+		return 0
+	}
+	return float64(p.WaitTime) / float64(p.Requests)
+}

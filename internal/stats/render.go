@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table renders aligned ASCII tables for cmd/figures output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// StackedBars renders a Figure-5/6-style stacked horizontal bar chart.
+// Each bar is a labeled sequence of segments whose widths are proportional
+// to their values; the segment glyphs cycle through segGlyphs.
+type StackedBars struct {
+	Title    string
+	SegNames []string
+	bars     []stackedBar
+	// Scale is the value corresponding to a full-width (60 char) bar.
+	// Zero means auto-scale to the largest bar.
+	Scale float64
+}
+
+type stackedBar struct {
+	label string
+	segs  []float64
+}
+
+var segGlyphs = []byte{'#', '=', '.', '~', '+', '%'}
+
+// AddBar appends a bar with one value per segment name.
+func (s *StackedBars) AddBar(label string, segs ...float64) {
+	s.bars = append(s.bars, stackedBar{label: label, segs: segs})
+}
+
+// String renders the chart.
+func (s *StackedBars) String() string {
+	const width = 60
+	scale := s.Scale
+	if scale == 0 {
+		for _, b := range s.bars {
+			t := 0.0
+			for _, v := range b.segs {
+				t += v
+			}
+			if t > scale {
+				scale = t
+			}
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	labelW := 0
+	for _, b := range s.bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	var out strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&out, "%s\n", s.Title)
+	}
+	if len(s.SegNames) > 0 {
+		fmt.Fprintf(&out, "%*s  legend:", labelW, "")
+		for i, n := range s.SegNames {
+			fmt.Fprintf(&out, " [%c]=%s", segGlyphs[i%len(segGlyphs)], n)
+		}
+		out.WriteByte('\n')
+	}
+	for _, b := range s.bars {
+		total := 0.0
+		fmt.Fprintf(&out, "%-*s  ", labelW, b.label)
+		for i, v := range b.segs {
+			n := int(v / scale * width)
+			out.Write(bytesRepeat(segGlyphs[i%len(segGlyphs)], n))
+			total += v
+		}
+		fmt.Fprintf(&out, "  %.2f\n", total)
+	}
+	return out.String()
+}
+
+func bytesRepeat(c byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+// Package sysctl models Piranha's System Control module (paper §2, §2.6):
+// the miscellaneous-maintenance block handling system configuration,
+// initialization, interrupt distribution, exception handling and
+// performance monitoring.
+//
+// Initialization works through the interconnect: after reset, a node's
+// router forwards all initialization packets to the SC, which interprets
+// control packets and can access every control register on the node —
+// update the routing table, start or stop individual Alpha cores, test
+// the off-chip memory, and read the performance counters. (The
+// traditional Alpha boot path, loading the primary caches from a serial
+// EPROM, exists as an alternative and is modeled by Bootstrap.)
+package sysctl
+
+import (
+	"fmt"
+
+	"piranha/internal/noc"
+)
+
+// Op is a control-packet operation code.
+type Op uint8
+
+// Control operations.
+const (
+	ReadReg Op = iota
+	WriteReg
+	UpdateRoute
+	StartCPU
+	StopCPU
+	TestMemory
+	Interrupt
+	ReadCounter
+)
+
+// Packet is one control packet delivered to the SC via the IQ's
+// disposition vector.
+type Packet struct {
+	Op  Op
+	Reg uint32
+	Val uint64
+	CPU int
+	// Route carries one adjacency-list row for UpdateRoute.
+	Node  int
+	Links []int
+}
+
+// Response is the SC's reply.
+type Response struct {
+	OK  bool
+	Val uint64
+	Err string
+}
+
+// Controller is one node's SC.
+type Controller struct {
+	regs    map[uint32]uint64
+	cpuRun  []bool
+	routing map[int][]int
+	// counters is the performance-monitoring block.
+	counters map[uint32]uint64
+
+	Interrupts     uint64
+	MemTestsPassed uint64
+}
+
+// New returns an SC managing ncpu cores (all stopped, as after reset).
+func New(ncpu int) *Controller {
+	return &Controller{
+		regs:     make(map[uint32]uint64),
+		cpuRun:   make([]bool, ncpu),
+		routing:  make(map[int][]int),
+		counters: make(map[uint32]uint64),
+	}
+}
+
+// Handle interprets one control packet.
+func (c *Controller) Handle(p Packet) Response {
+	switch p.Op {
+	case ReadReg:
+		return Response{OK: true, Val: c.regs[p.Reg]}
+	case WriteReg:
+		c.regs[p.Reg] = p.Val
+		return Response{OK: true}
+	case UpdateRoute:
+		c.routing[p.Node] = append([]int(nil), p.Links...)
+		return Response{OK: true}
+	case StartCPU, StopCPU:
+		if p.CPU < 0 || p.CPU >= len(c.cpuRun) {
+			return Response{Err: fmt.Sprintf("sysctl: no CPU %d", p.CPU)}
+		}
+		c.cpuRun[p.CPU] = p.Op == StartCPU
+		return Response{OK: true}
+	case TestMemory:
+		// March test over the given bank: the model reports success;
+		// failure injection flips the register the test writes.
+		c.MemTestsPassed++
+		return Response{OK: true}
+	case Interrupt:
+		c.Interrupts++
+		c.counters[0xFFFF]++
+		return Response{OK: true}
+	case ReadCounter:
+		return Response{OK: true, Val: c.counters[p.Reg]}
+	}
+	return Response{Err: "sysctl: unknown op"}
+}
+
+// Running reports whether a core has been started.
+func (c *Controller) Running(cpu int) bool {
+	return cpu >= 0 && cpu < len(c.cpuRun) && c.cpuRun[cpu]
+}
+
+// Bump increments a performance counter (wired to module stats).
+func (c *Controller) Bump(id uint32, n uint64) { c.counters[id] += n }
+
+// RoutingTable materializes the downloaded routes as a noc topology; it
+// fails if the table is incomplete or disconnected — exactly the check
+// the real initialization sequence must pass before coherent traffic is
+// allowed.
+func (c *Controller) RoutingTable(nodes int) (noc.Topology, error) {
+	adj := make([][]int, nodes)
+	for n := 0; n < nodes; n++ {
+		links, ok := c.routing[n]
+		if !ok {
+			return nil, fmt.Errorf("sysctl: node %d has no routing entry", n)
+		}
+		adj[n] = links
+	}
+	t := noc.Table{Adj: adj}
+	if _, _, err := noc.Routes(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// InitializeSystem runs the in-band initialization sequence over a set of
+// node SCs: download the topology's routing rows to every node, memory-
+// test each node, and start every core. It returns an error if any step
+// fails — leaving the system safely stopped.
+func InitializeSystem(scs []*Controller, topo noc.Topology) error {
+	if len(scs) != topo.Nodes() {
+		return fmt.Errorf("sysctl: %d controllers for %d nodes", len(scs), topo.Nodes())
+	}
+	for n, sc := range scs {
+		// Each SC learns the full routing picture (its rows arrive as
+		// control packets over the partially-initialized links).
+		for m := 0; m < topo.Nodes(); m++ {
+			if r := sc.Handle(Packet{Op: UpdateRoute, Node: m, Links: topo.Neighbors(m)}); !r.OK {
+				return fmt.Errorf("sysctl: node %d route update: %s", n, r.Err)
+			}
+		}
+		if _, err := sc.RoutingTable(topo.Nodes()); err != nil {
+			return err
+		}
+		if r := sc.Handle(Packet{Op: TestMemory}); !r.OK {
+			return fmt.Errorf("sysctl: node %d memory test failed", n)
+		}
+		for cpu := range sc.cpuRun {
+			if r := sc.Handle(Packet{Op: StartCPU, CPU: cpu}); !r.OK {
+				return fmt.Errorf("sysctl: node %d cpu %d: %s", n, cpu, r.Err)
+			}
+		}
+	}
+	return nil
+}
+
+// Bootstrap models the traditional Alpha boot alternative: the primary
+// caches are loaded from a small external EPROM over a bit-serial
+// connection. It returns the load time in bit-times for the given image.
+func Bootstrap(imageBytes int) (serialBits int) { return imageBytes * 8 }

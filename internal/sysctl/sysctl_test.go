@@ -1,0 +1,110 @@
+package sysctl
+
+import (
+	"testing"
+
+	"piranha/internal/noc"
+)
+
+func TestRegistersAndCounters(t *testing.T) {
+	sc := New(8)
+	if r := sc.Handle(Packet{Op: WriteReg, Reg: 0x10, Val: 42}); !r.OK {
+		t.Fatal(r.Err)
+	}
+	if r := sc.Handle(Packet{Op: ReadReg, Reg: 0x10}); !r.OK || r.Val != 42 {
+		t.Fatalf("read back %+v", r)
+	}
+	sc.Bump(7, 5)
+	if r := sc.Handle(Packet{Op: ReadCounter, Reg: 7}); r.Val != 5 {
+		t.Fatalf("counter %+v", r)
+	}
+}
+
+func TestStartStopCores(t *testing.T) {
+	sc := New(8)
+	// After reset every core is stopped (init happens via the SC).
+	for i := 0; i < 8; i++ {
+		if sc.Running(i) {
+			t.Fatalf("core %d running after reset", i)
+		}
+	}
+	sc.Handle(Packet{Op: StartCPU, CPU: 3})
+	if !sc.Running(3) || sc.Running(4) {
+		t.Fatal("start wrong core")
+	}
+	sc.Handle(Packet{Op: StopCPU, CPU: 3})
+	if sc.Running(3) {
+		t.Fatal("stop failed")
+	}
+	if r := sc.Handle(Packet{Op: StartCPU, CPU: 99}); r.OK {
+		t.Fatal("bogus CPU accepted")
+	}
+}
+
+func TestRoutingTableValidation(t *testing.T) {
+	sc := New(1)
+	topo := noc.Ring{N: 4}
+	for n := 0; n < 4; n++ {
+		sc.Handle(Packet{Op: UpdateRoute, Node: n, Links: topo.Neighbors(n)})
+	}
+	if _, err := sc.RoutingTable(4); err != nil {
+		t.Fatal(err)
+	}
+	// A missing row must fail.
+	sc2 := New(1)
+	sc2.Handle(Packet{Op: UpdateRoute, Node: 0, Links: []int{1}})
+	if _, err := sc2.RoutingTable(2); err == nil {
+		t.Fatal("incomplete table accepted")
+	}
+	// A disconnected table must fail.
+	sc3 := New(1)
+	sc3.Handle(Packet{Op: UpdateRoute, Node: 0, Links: []int{1}})
+	sc3.Handle(Packet{Op: UpdateRoute, Node: 1, Links: []int{0}})
+	sc3.Handle(Packet{Op: UpdateRoute, Node: 2, Links: []int{}})
+	if _, err := sc3.RoutingTable(3); err == nil {
+		t.Fatal("disconnected table accepted")
+	}
+}
+
+func TestInitializeSystem(t *testing.T) {
+	topo := noc.Torus{W: 2, H: 2}
+	var scs []*Controller
+	for i := 0; i < 4; i++ {
+		scs = append(scs, New(8))
+	}
+	if err := InitializeSystem(scs, topo); err != nil {
+		t.Fatal(err)
+	}
+	for n, sc := range scs {
+		for cpu := 0; cpu < 8; cpu++ {
+			if !sc.Running(cpu) {
+				t.Fatalf("node %d cpu %d not started", n, cpu)
+			}
+		}
+		if sc.MemTestsPassed != 1 {
+			t.Fatalf("node %d memory untested", n)
+		}
+	}
+	if err := InitializeSystem(scs[:2], topo); err == nil {
+		t.Fatal("mismatched node count accepted")
+	}
+}
+
+func TestInterruptDistribution(t *testing.T) {
+	sc := New(8)
+	for i := 0; i < 5; i++ {
+		sc.Handle(Packet{Op: Interrupt})
+	}
+	if sc.Interrupts != 5 {
+		t.Fatalf("interrupts %d", sc.Interrupts)
+	}
+	if r := sc.Handle(Packet{Op: ReadCounter, Reg: 0xFFFF}); r.Val != 5 {
+		t.Fatal("interrupt counter not maintained")
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	if Bootstrap(8192) != 65536 {
+		t.Fatal("serial boot arithmetic")
+	}
+}

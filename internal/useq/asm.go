@@ -1,0 +1,261 @@
+package useq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is assembled microcode plus its symbol table.
+type Program struct {
+	Words  []Word
+	Labels map[string]uint16
+}
+
+// Entry resolves a label to its address.
+func (p *Program) Entry(label string) (uint16, error) {
+	a, ok := p.Labels[label]
+	if !ok {
+		return 0, fmt.Errorf("useq: unknown label %q", label)
+	}
+	return a, nil
+}
+
+// Assemble translates symbolic microcode into a Program. The syntax, one
+// instruction per line:
+//
+//	; comment
+//	label:  SET   r0, 7          ; state variable r0 := 7
+//	        MOVE  r1, r0         ; r1 := r0
+//	        TEST  r0 @table      ; 16-way branch on r0 into table
+//	        SEND  5, r1          ; send remote message type 5, arg r1
+//	        LSEND 2, r0          ; send local message type 2, arg r0
+//	        RECEIVE  r3 @table   ; wait remote msg; arg->r3; branch on type
+//	        LRECEIVE r3 @table   ; same for local messages
+//	        HALT                 ; complete the transaction
+//	.align 16                    ; branch tables must be 16-aligned
+//	.org 64                      ; place following code at address 64
+//
+// Every instruction may end with "-> label" to name its successor
+// explicitly; otherwise control falls through to the next word. Branch
+// targets (@table) must be 16-aligned because the condition code is OR-ed
+// into the low 4 bits of the next-address field.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		line   int
+		op     Opcode
+		a0, a1 uint8
+		next   string // explicit successor label ("" = fall through)
+		branch string // @table label for TEST/RECEIVE ("" = none)
+		addr   uint16
+		halt   bool
+	}
+
+	labels := map[string]uint16{"halt": haltAddr}
+	var insts []pending
+	addr := uint16(0)
+
+	reg := func(tok string) (uint8, error) {
+		if !strings.HasPrefix(tok, "r") {
+			return 0, fmt.Errorf("expected register, got %q", tok)
+		}
+		v, err := strconv.Atoi(tok[1:])
+		if err != nil || v < 0 || v >= Regs {
+			return 0, fmt.Errorf("bad register %q", tok)
+		}
+		return uint8(v), nil
+	}
+	imm := func(tok string) (uint8, error) {
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v > 15 {
+			return 0, fmt.Errorf("immediate %q out of 0..15", tok)
+		}
+		return uint8(v), nil
+	}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Directives.
+		if strings.HasPrefix(line, ".align") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".align")))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("line %d: bad .align", ln+1)
+			}
+			for int(addr)%n != 0 {
+				addr++
+			}
+			continue
+		}
+		if strings.HasPrefix(line, ".org") {
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, ".org")))
+			if err != nil || n < 0 || n >= StoreSize {
+				return nil, fmt.Errorf("line %d: bad .org", ln+1)
+			}
+			addr = uint16(n)
+			continue
+		}
+		// Labels (possibly several on one line before an instruction).
+		for {
+			i := strings.IndexByte(line, ':')
+			if i < 0 {
+				break
+			}
+			name := strings.TrimSpace(line[:i])
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, name)
+			}
+			if _, dup := labels[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, name)
+			}
+			labels[name] = addr
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+
+		// Optional explicit successor.
+		p := pending{line: ln + 1, addr: addr}
+		if i := strings.Index(line, "->"); i >= 0 {
+			p.next = strings.TrimSpace(line[i+2:])
+			line = strings.TrimSpace(line[:i])
+		}
+
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		mnemonic := strings.ToUpper(fields[0])
+		args := fields[1:]
+		takeBranch := func() error {
+			if len(args) == 0 || !strings.HasPrefix(args[len(args)-1], "@") {
+				return fmt.Errorf("missing @table operand")
+			}
+			p.branch = args[len(args)-1][1:]
+			args = args[:len(args)-1]
+			return nil
+		}
+
+		var err error
+		switch mnemonic {
+		case "SET":
+			p.op = SET
+			if len(args) != 2 {
+				err = fmt.Errorf("SET needs 2 operands")
+				break
+			}
+			if p.a0, err = reg(args[0]); err == nil {
+				p.a1, err = imm(args[1])
+			}
+		case "MOVE":
+			p.op = MOVE
+			if len(args) != 2 {
+				err = fmt.Errorf("MOVE needs 2 operands")
+				break
+			}
+			if p.a0, err = reg(args[0]); err == nil {
+				p.a1, err = reg(args[1])
+			}
+		case "SEND", "LSEND":
+			p.op = SEND
+			if mnemonic == "LSEND" {
+				p.op = LSEND
+			}
+			if len(args) != 2 {
+				err = fmt.Errorf("%s needs 2 operands", mnemonic)
+				break
+			}
+			if p.a0, err = imm(args[0]); err == nil {
+				p.a1, err = reg(args[1])
+			}
+		case "RECEIVE", "LRECEIVE":
+			p.op = RECEIVE
+			if mnemonic == "LRECEIVE" {
+				p.op = LRECEIVE
+			}
+			if err = takeBranch(); err != nil {
+				break
+			}
+			if len(args) != 1 {
+				err = fmt.Errorf("%s needs a register and @table", mnemonic)
+				break
+			}
+			p.a1, err = reg(args[0])
+		case "TEST":
+			p.op = TEST
+			if err = takeBranch(); err != nil {
+				break
+			}
+			if len(args) != 1 {
+				err = fmt.Errorf("TEST needs a register and @table")
+				break
+			}
+			p.a0, err = reg(args[0])
+		case "HALT":
+			p.op = MOVE
+			p.halt = true
+		case "JMP":
+			// Pseudo-instruction: an effect-free MOVE whose next field
+			// is the target (used to populate branch-table slots).
+			p.op = MOVE
+			if len(args) != 1 {
+				err = fmt.Errorf("JMP needs a target label")
+				break
+			}
+			p.next = args[0]
+		default:
+			err = fmt.Errorf("unknown mnemonic %q", mnemonic)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		insts = append(insts, p)
+		addr++
+		if int(addr) >= StoreSize {
+			return nil, fmt.Errorf("line %d: program overflows microcode store", ln+1)
+		}
+	}
+
+	// Second pass: resolve successors and emit.
+	words := make([]Word, addr)
+	occupied := make([]bool, addr)
+	for i, p := range insts {
+		next := uint16(haltAddr)
+		switch {
+		case p.halt:
+		case p.next != "":
+			a, ok := labels[p.next]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown label %q", p.line, p.next)
+			}
+			next = a
+		case p.branch != "":
+			a, ok := labels[p.branch]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown table %q", p.line, p.branch)
+			}
+			if a%16 != 0 {
+				return nil, fmt.Errorf("line %d: table %q at %d not 16-aligned", p.line, p.branch, a)
+			}
+			next = a
+		default:
+			// Fall through to the next emitted instruction.
+			if i+1 < len(insts) {
+				next = insts[i+1].addr
+			}
+		}
+		words[p.addr] = Pack(p.op, p.a0, p.a1, next)
+		occupied[p.addr] = true
+	}
+	// Unoccupied (alignment padding) words halt if ever reached.
+	for i, ok := range occupied {
+		if !ok {
+			words[i] = Pack(MOVE, 0, 0, haltAddr)
+		}
+	}
+	return &Program{Words: words, Labels: labels}, nil
+}

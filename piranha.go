@@ -1,0 +1,155 @@
+// Package piranha is the public API of the Piranha simulator — a Go
+// reproduction of "Piranha: A Scalable Architecture Based on Single-Chip
+// Multiprocessing" (Barroso et al., ISCA 2000).
+//
+// The package exposes the paper's Table-1 machine configurations, the
+// OLTP/DSS/TPC-C-style workloads, and an experiment runner producing the
+// metrics the paper reports: per-transaction execution time with its
+// CPU-busy / L2-hit-stall / L2-miss-stall breakdown (Figure 5), the
+// L1-miss service breakdown (Figure 6b), and multi-chip scaling
+// (Figure 7). Lower-level machinery lives in internal/: the event kernel
+// (sim), caches (cache, l1, l2), memory controllers (memctl), protocol
+// engines and inter-node coherence (pe, directory, ecc), interconnect
+// (noc, link), processor models (cpu, isa), OS model (kernel), workload
+// generators (workload), the microcode engine (useq), the I/O node
+// (ionode) and the area model (area).
+//
+// Quick start:
+//
+//	res := piranha.RunOLTP(piranha.P8(), 100, 200)
+//	fmt.Println(res)
+package piranha
+
+import (
+	"piranha/internal/core"
+	"piranha/internal/sim"
+	"piranha/internal/workload"
+)
+
+// Result is the outcome of one simulation (see core.Result).
+type Result = core.Result
+
+// Experiment re-exports the full experiment descriptor for advanced use.
+type Experiment = core.Experiment
+
+// SystemConfig describes a machine (chips x chip configuration).
+type SystemConfig = core.SystemConfig
+
+// Table-1 configurations (single-chip unless stated).
+
+// P8 is the Piranha prototype: eight 500 MHz single-issue in-order cores,
+// 64 KB 2-way L1s, 1 MB 8-way shared non-inclusive L2 (16/24 ns).
+func P8() SystemConfig {
+	return SystemConfig{Chips: 1, Chip: core.PiranhaChip(8)}
+}
+
+// P1, P2 and P4 are hypothetical Piranha chips with fewer cores.
+func P1() SystemConfig { return SystemConfig{Chips: 1, Chip: core.PiranhaChip(1)} }
+
+// P2 is the two-core Piranha point of Figure 6.
+func P2() SystemConfig { return SystemConfig{Chips: 1, Chip: core.PiranhaChip(2)} }
+
+// P4 is the four-core Piranha chip (also used per chip in Figure 7).
+func P4() SystemConfig { return SystemConfig{Chips: 1, Chip: core.PiranhaChip(4)} }
+
+// OOO is the aggressive next-generation processor: 1 GHz, 4-issue,
+// 64-entry window, 1.5 MB 6-way L2 at 12 ns (Alpha 21364-like).
+func OOO() SystemConfig { return SystemConfig{Chips: 1, Chip: core.OOOChip()} }
+
+// INO is the OOO chip restricted to single-issue in-order (Table 1's
+// intermediate design point).
+func INO() SystemConfig { return SystemConfig{Chips: 1, Chip: core.INOChip()} }
+
+// P8F is the full-custom Piranha: 1.25 GHz cores, 1.5 MB 6-way L2 at
+// 12/16 ns.
+func P8F() SystemConfig {
+	return SystemConfig{Chips: 1, Chip: core.FullCustomChip(8)}
+}
+
+// Pessimistic is the §4 sensitivity point: 400 MHz cores, 32 KB
+// direct-mapped L1s, 22/32 ns L2.
+func Pessimistic() SystemConfig {
+	return SystemConfig{Chips: 1, Chip: core.PessimisticPiranhaChip(8)}
+}
+
+// MultiChip returns n chips of cpusPerChip Piranha cores on the glueless
+// interconnect.
+func MultiChip(n, cpusPerChip int) SystemConfig {
+	return SystemConfig{Chips: n, Chip: core.PiranhaChip(cpusPerChip)}
+}
+
+// MultiChipOOO returns n OOO chips on the same interconnect fabric.
+func MultiChipOOO(n int) SystemConfig {
+	return SystemConfig{Chips: n, Chip: core.OOOChip()}
+}
+
+// RunOLTP measures the TPC-B-style workload: warm transactions of cache
+// warmup, then measure transactions of measurement.
+func RunOLTP(sys SystemConfig, warm, measure uint64) Result {
+	return core.Run(core.Experiment{
+		Name:      "oltp",
+		Sys:       sys,
+		Work:      core.WorkloadSpec{Kind: core.OLTP},
+		WarmTx:    warm,
+		MeasureTx: measure,
+	})
+}
+
+// RunDSS measures the TPC-D Query-6-style scan.
+func RunDSS(sys SystemConfig, warm, measure uint64) Result {
+	return core.Run(core.Experiment{
+		Name:      "dss",
+		Sys:       sys,
+		Work:      core.WorkloadSpec{Kind: core.DSS},
+		WarmTx:    warm,
+		MeasureTx: measure,
+	})
+}
+
+// RunWeb measures the §6 AltaVista-style search workload, which behaves
+// like DSS: compute-bound index scans with abundant thread parallelism.
+func RunWeb(sys SystemConfig, warm, measure uint64) Result {
+	return core.Run(core.Experiment{
+		Name:      "web",
+		Sys:       sys,
+		Work:      core.WorkloadSpec{Kind: core.WEB},
+		WarmTx:    warm,
+		MeasureTx: measure,
+	})
+}
+
+// RunTPCC measures the heavier TPC-C-style mix.
+func RunTPCC(sys SystemConfig, warm, measure uint64) Result {
+	return core.Run(core.Experiment{
+		Name:      "tpcc",
+		Sys:       sys,
+		Work:      core.WorkloadSpec{Kind: core.TPCC},
+		WarmTx:    warm,
+		MeasureTx: measure,
+	})
+}
+
+// Run executes a fully-specified experiment.
+func Run(e Experiment) Result { return core.Run(e) }
+
+// Scale multiplies all transaction counts in the figure harnesses;
+// useful to trade precision for speed.
+type Scale struct {
+	Warm, Measure uint64
+}
+
+// QuickScale is fast and noisy (tests); PaperScale approximates the
+// paper's "500 transactions after a warm-up period".
+var (
+	QuickScale = Scale{Warm: 50, Measure: 100}
+	PaperScale = Scale{Warm: 200, Measure: 500}
+)
+
+// OLTPConfig and DSSConfig re-export the workload knobs.
+type OLTPConfig = workload.OLTPConfig
+
+// DSSConfig re-exports the DSS scan parameters.
+type DSSConfig = workload.DSSConfig
+
+// Nanoseconds converts a simulated duration for reporting.
+func Nanoseconds(t sim.Time) float64 { return float64(t) / float64(sim.Nanosecond) }

@@ -1,0 +1,183 @@
+package piranha
+
+import (
+	"strings"
+	"testing"
+)
+
+var tiny = Scale{Warm: 20, Measure: 40}
+
+func TestQuickstartPath(t *testing.T) {
+	r := RunOLTP(P8(), tiny.Warm, tiny.Measure)
+	if r.CPUs != 8 || r.Tx != tiny.Measure || r.TimePerTx <= 0 {
+		t.Fatalf("result %+v", r)
+	}
+	if !strings.Contains(r.String(), "busy") {
+		t.Fatal("summary render broken")
+	}
+}
+
+func TestConfigsDiffer(t *testing.T) {
+	if P8().Chip.CPUs != 8 || P1().Chip.CPUs != 1 || P4().Chip.CPUs != 4 || P2().Chip.CPUs != 2 {
+		t.Fatal("core counts wrong")
+	}
+	if OOO().Chip.Core.IssueWidth != 4 || INO().Chip.Core.IssueWidth != 1 {
+		t.Fatal("issue widths wrong")
+	}
+	if P8F().Chip.Core.Clock.Freq() != 1250 {
+		t.Fatal("P8F clock wrong")
+	}
+	if Pessimistic().Chip.L1.Ways != 1 {
+		t.Fatal("pessimistic L1 wrong")
+	}
+	if MultiChip(3, 4).Chips != 3 || MultiChipOOO(2).Chips != 2 {
+		t.Fatal("multichip wrong")
+	}
+}
+
+func TestTable1Report(t *testing.T) {
+	rep := Table1()
+	for _, want := range []string{"500 MHz", "1000 MHz", "1250 MHz", "8-way", "6-way", "16 / 24 ns", "12 / 12 ns"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, rep.Text)
+		}
+	}
+}
+
+func TestFigureReportRender(t *testing.T) {
+	rep := Sec251Microcode()
+	out := rep.String()
+	if !strings.Contains(out, "sec2.5.1") || !strings.Contains(out, "re_instructions") {
+		t.Fatalf("render:\n%s", out)
+	}
+	if rep.Metrics["re_instructions"] != 4 {
+		t.Fatalf("remote engine instructions %v, want 4 (paper)", rep.Metrics["re_instructions"])
+	}
+}
+
+func TestDirectoryNote(t *testing.T) {
+	rep := DirectoryNote()
+	if rep.Metrics["spare_bits"] != 44 {
+		t.Fatalf("spare bits %v, want 44", rep.Metrics["spare_bits"])
+	}
+}
+
+func TestFig9AreaFraction(t *testing.T) {
+	rep := Fig9Area()
+	f := rep.Metrics["core_cache_fraction"]
+	if f < 0.65 || f > 0.85 {
+		t.Fatalf("core+cache fraction %v, want ~0.75", f)
+	}
+}
+
+func TestSec24OpenPageShape(t *testing.T) {
+	rep := Sec24OpenPage()
+	// The paper's claim: ~1 us open time yields >50% hits; and longer
+	// timeouts cannot do worse than shorter ones on this stream.
+	if rep.Metrics["hit_rate_1000ns"] < 0.5 {
+		t.Fatalf("1us hit rate %v, want > 0.5", rep.Metrics["hit_rate_1000ns"])
+	}
+	if rep.Metrics["hit_rate_100ns"] >= rep.Metrics["hit_rate_10000ns"] {
+		t.Fatal("hit rate should grow with the close timeout")
+	}
+}
+
+func TestSec253CMIBounds(t *testing.T) {
+	rep := Sec253CMI()
+	if rep.Metrics["cmi_msgs_1024n_41sharers"] >= rep.Metrics["bcast_msgs_1024n_41sharers"] {
+		t.Fatal("CMI must inject fewer messages than broadcast")
+	}
+	// The paper: CMI avoids the home-injection serialization, winning
+	// on latency for large sharer sets.
+	if rep.Metrics["cmi_lat_ns_1024n_41sharers"] >= rep.Metrics["bcast_lat_ns_1024n_41sharers"] {
+		t.Fatal("CMI should beat broadcast latency at scale")
+	}
+	if rep.Metrics["buffer_headers_bound"] != 128 {
+		t.Fatal("buffer bound arithmetic")
+	}
+}
+
+func TestSec253NoNAKAblation(t *testing.T) {
+	rep := Sec253NoNAK()
+	if rep.Metrics["msgs_per_txn_piranha-no-nak"] >= rep.Metrics["msgs_per_txn_dash-baseline"] {
+		t.Fatalf("no-NAK protocol should send fewer messages: %v vs %v",
+			rep.Metrics["msgs_per_txn_piranha-no-nak"], rep.Metrics["msgs_per_txn_dash-baseline"])
+	}
+	if rep.Metrics["naks_piranha-no-nak"] != 0 {
+		t.Fatal("the Piranha protocol must never NAK")
+	}
+	if rep.Metrics["naks_dash-baseline"] == 0 {
+		t.Fatal("the baseline should NAK under this load")
+	}
+}
+
+func TestSec261LinkNoFrameLoss(t *testing.T) {
+	rep := Sec261LinkCode()
+	if rep.Metrics["frames_lost"] != 0 {
+		t.Fatal("retransmission should recover every frame")
+	}
+	s := rep.Metrics["inverted_share"]
+	if s < 0.4 || s > 0.6 {
+		t.Fatalf("random inversion share %v, want ~0.5", s)
+	}
+}
+
+func TestFig5ShapeTiny(t *testing.T) {
+	// Even at tiny scale the ordering must hold: P1 slowest, then INO,
+	// then OOO, with P8 fastest — on both workloads.
+	rep := Fig5(tiny)
+	for _, kind := range []string{"oltp", "dss"} {
+		p1 := rep.Metrics[kind+"_norm_time_P1"]
+		ino := rep.Metrics[kind+"_norm_time_INO"]
+		p8 := rep.Metrics[kind+"_norm_time_P8"]
+		if !(p1 > ino && ino > 1 && p8 < 1) {
+			t.Fatalf("%s ordering broken: P1=%v INO=%v OOO=1 P8=%v", kind, p1, ino, p8)
+		}
+	}
+}
+
+func TestCacheTradeoffShape(t *testing.T) {
+	rep := TextCacheTradeoff(tiny)
+	// A much larger L2 helps only modestly; dropping to 4 CPUs costs
+	// nearly 2x. (The paper's argument for more cores over more SRAM.)
+	if g := rep.Metrics["infinite_l2_gain_frac"]; g < 0 || g > 0.35 {
+		t.Fatalf("8x L2 gain %v, want modest", g)
+	}
+	if s := rep.Metrics["p8_over_p4big"]; s < 1.5 {
+		t.Fatalf("P4+8MB should be much slower than P8: %v", s)
+	}
+}
+
+func TestWebBehavesLikeDSS(t *testing.T) {
+	// §6: search-engine workloads behave like DSS — Piranha's speedup
+	// over OOO should land in DSS territory (well above 1, compute-
+	// dominated), not OLTP territory.
+	p8 := RunWeb(P8(), 20, 60)
+	ooo := RunWeb(OOO(), 20, 60)
+	sp := ooo.TimePerTx / p8.TimePerTx
+	if sp < 1.5 || sp > 3.5 {
+		t.Fatalf("web speedup %v, want DSS-like (~2.3)", sp)
+	}
+	busy, _, _, _ := p8.Agg.Normalized(p8.Agg.Total())
+	if busy < 0.5 {
+		t.Fatalf("web workload should be compute-dominated: busy=%v", busy)
+	}
+}
+
+func TestInclusionAblation(t *testing.T) {
+	rep := AblationInclusion(tiny)
+	// Inclusion must never win: it wastes the L2 on L1 duplicates and
+	// pays back-invalidations (§2.3's rationale for no-inclusion).
+	if rep.Metrics["inclusive_slowdown_frac"] < -0.02 {
+		t.Fatalf("inclusive L2 outperformed non-inclusive: %v", rep.Metrics["inclusive_slowdown_frac"])
+	}
+	if rep.Metrics["mem_miss_frac_inclusive"] <= rep.Metrics["mem_miss_frac_noninc"] {
+		t.Fatal("inclusion should push more misses to memory")
+	}
+}
+
+func TestNanosecondsHelper(t *testing.T) {
+	if Nanoseconds(2500) != 2.5 {
+		t.Fatal("conversion wrong")
+	}
+}
