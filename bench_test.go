@@ -8,6 +8,13 @@ package piranha
 //
 // prints the full paper-vs-measured record (also collected in
 // EXPERIMENTS.md). A full-scale regeneration is cmd/figures.
+//
+// Config sweeps inside each figure fan out across host CPUs via
+// internal/runner; the reported metrics are bit-identical to a serial
+// run (see determinism_test.go), but ns/op scales with GOMAXPROCS —
+// run with -cpu 1 or call SetParallelism(1) for serial-comparable
+// timings. The engine's own hot-path microbenchmarks live in
+// internal/sim/engine_bench_test.go.
 
 import (
 	"testing"

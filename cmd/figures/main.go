@@ -5,17 +5,23 @@
 //
 // Usage:
 //
-//	figures            # paper-scale transaction counts (slower)
-//	figures -quick     # reduced counts for a fast sanity pass
-//	figures -only fig5 # one artifact: table1, fig5, fig6, fig7, fig8,
-//	                   # fig9, tpcc, pess, openpage, cmi, nonak,
-//	                   # microcode, link, directory
+//	figures             # paper-scale transaction counts (slower)
+//	figures -quick      # reduced counts for a fast sanity pass
+//	figures -parallel 4 # bound the simulation worker pool (0 = all CPUs)
+//	figures -only fig5  # one artifact: table1, fig5, fig6, fig7, fig8,
+//	                    # fig9, tpcc, pess, openpage, cmi, nonak,
+//	                    # microcode, link, directory
+//
+// Every simulation is deterministic and self-contained, so artifacts are
+// generated concurrently (and each config sweep fans out internally via
+// piranha.RunBatch); the printed output is identical to a serial run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"piranha"
 )
@@ -23,7 +29,10 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "use reduced transaction counts")
 	only := flag.String("only", "", "generate a single artifact")
+	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU, 1 = serial)")
 	flag.Parse()
+
+	piranha.SetParallelism(*parallel)
 
 	scale := piranha.PaperScale
 	if *quick {
@@ -52,16 +61,43 @@ func main() {
 		{"fig9", func() piranha.FigureReport { return piranha.Fig9Area() }},
 	}
 
-	found := false
-	for _, a := range artifacts {
-		if *only != "" && a.name != *only {
-			continue
-		}
-		found = true
-		fmt.Println(a.gen())
+	var selected []struct {
+		name string
+		gen  func() piranha.FigureReport
 	}
-	if !found {
+	for _, a := range artifacts {
+		if *only == "" || a.name == *only {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
 		fmt.Fprintf(os.Stderr, "unknown artifact %q\n", *only)
 		os.Exit(2)
+	}
+
+	// Artifacts are independent deterministic computations: generate them
+	// concurrently (bounded by the same worker budget as the sweeps), but
+	// print strictly in the canonical order.
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	reports := make([]piranha.FigureReport, len(selected))
+	sem := make(chan struct{}, workers)
+	done := make(chan int)
+	for i, a := range selected {
+		i, a := i, a
+		go func() {
+			sem <- struct{}{}
+			reports[i] = a.gen()
+			<-sem
+			done <- i
+		}()
+	}
+	for range selected {
+		<-done
+	}
+	for _, r := range reports {
+		fmt.Println(r)
 	}
 }

@@ -1,87 +1,123 @@
-// Command piranha runs one simulated machine configuration against one
-// workload and prints the paper's metrics: time per transaction, the
+// Command piranha runs simulated machine configurations against
+// workloads and prints the paper's metrics: time per transaction, the
 // execution-time breakdown, the L1-miss breakdown, and memory statistics.
 //
 // Usage:
 //
 //	piranha -config p8 -workload oltp -chips 1 -warm 100 -tx 200
+//	piranha -config p1,p8,ooo -workload oltp,dss   # a sweep: every
+//	                                               # config x workload pair,
+//	                                               # run in parallel
 //
 // Configurations: p1, p2, p4, p8 (Piranha prototype with N cores), ino,
 // ooo (next-generation 1 GHz processor), p8f (full-custom Piranha), pess
 // (pessimistic ASIC parameters). Workloads: oltp, dss, tpcc, web.
+//
+// Sweeps fan out across host CPUs (bounded by -parallel); each run is an
+// isolated deterministic simulation, so results are printed in sweep
+// order and are identical to running each pair alone.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"piranha"
 	"piranha/internal/core"
+	"piranha/internal/runner"
 )
 
 func main() {
 	var (
-		config  = flag.String("config", "p8", "machine configuration: p1|p2|p4|p8|ino|ooo|p8f|pess")
-		work    = flag.String("workload", "oltp", "workload: oltp|dss|tpcc|web")
-		chips   = flag.Int("chips", 1, "number of chips (glueless interconnect)")
-		warm    = flag.Uint64("warm", 100, "warm-up transactions")
-		tx      = flag.Uint64("tx", 200, "measured transactions")
-		seed    = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		verbose = flag.Bool("v", false, "print full statistics")
+		config   = flag.String("config", "p8", "comma-separated configurations: p1|p2|p4|p8|ino|ooo|p8f|pess")
+		work     = flag.String("workload", "oltp", "comma-separated workloads: oltp|dss|tpcc|web")
+		chips    = flag.Int("chips", 1, "number of chips (glueless interconnect)")
+		warm     = flag.Uint64("warm", 100, "warm-up transactions")
+		tx       = flag.Uint64("tx", 200, "measured transactions")
+		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU, 1 = serial)")
+		verbose  = flag.Bool("v", false, "print full statistics")
 	)
 	flag.Parse()
 
-	sys, ok := map[string]piranha.SystemConfig{
+	sysByName := map[string]piranha.SystemConfig{
 		"p1": piranha.P1(), "p2": piranha.P2(), "p4": piranha.P4(),
 		"p8": piranha.P8(), "ino": piranha.INO(), "ooo": piranha.OOO(),
 		"p8f": piranha.P8F(), "pess": piranha.Pessimistic(),
-	}[*config]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *config)
-		os.Exit(2)
 	}
-	sys.Chips = *chips
-
-	kind, ok := map[string]core.WorkloadKind{
+	kindByName := map[string]core.WorkloadKind{
 		"oltp": core.OLTP, "dss": core.DSS, "tpcc": core.TPCC, "web": core.WEB,
-	}[*work]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *work)
-		os.Exit(2)
 	}
 
-	res := piranha.Run(piranha.Experiment{
-		Name:      *config,
-		Sys:       sys,
-		Work:      core.WorkloadSpec{Kind: kind},
-		WarmTx:    *warm,
-		MeasureTx: *tx,
-		Seed:      *seed,
-	})
+	workloads := strings.Split(*work, ",")
+	var exps []core.Experiment
+	for _, c := range strings.Split(*config, ",") {
+		sys, ok := sysByName[c]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
+			os.Exit(2)
+		}
+		sys.Chips = *chips
+		for _, w := range workloads {
+			kind, ok := kindByName[w]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", w)
+				os.Exit(2)
+			}
+			name := c
+			if len(workloads) > 1 {
+				// Disambiguate sweep rows: the same config appears once
+				// per workload.
+				name = c + "/" + w
+			}
+			exps = append(exps, core.Experiment{
+				Name:      name,
+				Sys:       sys,
+				Work:      core.WorkloadSpec{Kind: kind},
+				WarmTx:    *warm,
+				MeasureTx: *tx,
+				Seed:      *seed,
+			})
+		}
+	}
 
-	fmt.Println(res)
-	if *verbose {
-		busy, hit, miss, other := res.Agg.Normalized(res.Agg.Total())
-		fmt.Printf("\nexecution time breakdown:\n")
-		fmt.Printf("  CPU busy       %6.1f%%\n", busy*100)
-		fmt.Printf("  L2 hit stall   %6.1f%%\n", hit*100)
-		fmt.Printf("  L2 miss stall  %6.1f%%\n", miss*100)
-		fmt.Printf("  other/idle     %6.1f%%\n", other*100)
-		h, f, m := res.Miss.Fractions()
-		fmt.Printf("\nL1 miss breakdown (total %d):\n", res.Miss.Total())
-		fmt.Printf("  L2 hit  %6.1f%%\n  L2 fwd  %6.1f%%\n  L2 miss %6.1f%%\n", h*100, f*100, m*100)
-		fmt.Printf("\nper-tx L2 controller events: hit=%.0f fwd=%.0f upgrade=%.0f mem=%.0f inval=%.0f wb2=%.0f wbmem=%.0f\n",
-			float64(res.L2.Hits)/float64(res.Tx), float64(res.L2.Fwds)/float64(res.Tx),
-			float64(res.L2.Upgrades)/float64(res.Tx), float64(res.L2.LocalMem+res.L2.Remote+res.L2.RemoteDirty)/float64(res.Tx),
-			float64(res.L2.Invals)/float64(res.Tx), float64(res.L2.WritebacksToL2)/float64(res.Tx),
-			float64(res.L2.WritebacksToMem)/float64(res.Tx))
-		fmt.Printf("core svc counts per tx: L1=%.0f hit=%.0f fwd=%.0f mem=%.0f rem=%.0f dirty=%.0f\n",
-			float64(res.Svc[0])/float64(res.Tx), float64(res.Svc[1])/float64(res.Tx),
-			float64(res.Svc[2])/float64(res.Tx), float64(res.Svc[3])/float64(res.Tx),
-			float64(res.Svc[4])/float64(res.Tx), float64(res.Svc[5])/float64(res.Tx))
-		fmt.Printf("instructions retired: %d\n", res.Instructions)
-		fmt.Printf("context switches:     %d\n", res.CtxSwitches)
-		fmt.Printf("open-page hit rate:   %.1f%%\n", res.PageHitRate*100)
+	failed := false
+	for _, out := range runner.Run(context.Background(), exps, *parallel) {
+		if out.Err != nil {
+			fmt.Fprintln(os.Stderr, out.Err)
+			failed = true
+			continue
+		}
+		res := out.Result
+		fmt.Println(res)
+		if *verbose {
+			busy, hit, miss, other := res.Agg.Normalized(res.Agg.Total())
+			fmt.Printf("\nexecution time breakdown:\n")
+			fmt.Printf("  CPU busy       %6.1f%%\n", busy*100)
+			fmt.Printf("  L2 hit stall   %6.1f%%\n", hit*100)
+			fmt.Printf("  L2 miss stall  %6.1f%%\n", miss*100)
+			fmt.Printf("  other/idle     %6.1f%%\n", other*100)
+			h, f, m := res.Miss.Fractions()
+			fmt.Printf("\nL1 miss breakdown (total %d):\n", res.Miss.Total())
+			fmt.Printf("  L2 hit  %6.1f%%\n  L2 fwd  %6.1f%%\n  L2 miss %6.1f%%\n", h*100, f*100, m*100)
+			fmt.Printf("\nper-tx L2 controller events: hit=%.0f fwd=%.0f upgrade=%.0f mem=%.0f inval=%.0f wb2=%.0f wbmem=%.0f\n",
+				float64(res.L2.Hits)/float64(res.Tx), float64(res.L2.Fwds)/float64(res.Tx),
+				float64(res.L2.Upgrades)/float64(res.Tx), float64(res.L2.LocalMem+res.L2.Remote+res.L2.RemoteDirty)/float64(res.Tx),
+				float64(res.L2.Invals)/float64(res.Tx), float64(res.L2.WritebacksToL2)/float64(res.Tx),
+				float64(res.L2.WritebacksToMem)/float64(res.Tx))
+			fmt.Printf("core svc counts per tx: L1=%.0f hit=%.0f fwd=%.0f mem=%.0f rem=%.0f dirty=%.0f\n",
+				float64(res.Svc[0])/float64(res.Tx), float64(res.Svc[1])/float64(res.Tx),
+				float64(res.Svc[2])/float64(res.Tx), float64(res.Svc[3])/float64(res.Tx),
+				float64(res.Svc[4])/float64(res.Tx), float64(res.Svc[5])/float64(res.Tx))
+			fmt.Printf("instructions retired: %d\n", res.Instructions)
+			fmt.Printf("context switches:     %d\n", res.CtxSwitches)
+			fmt.Printf("open-page hit rate:   %.1f%%\n", res.PageHitRate*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

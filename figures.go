@@ -1,7 +1,9 @@
 package piranha
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"piranha/internal/area"
@@ -12,6 +14,7 @@ import (
 	"piranha/internal/link"
 	"piranha/internal/memctl"
 	"piranha/internal/pe"
+	"piranha/internal/runner"
 	"piranha/internal/sim"
 	"piranha/internal/stats"
 	"piranha/internal/useq"
@@ -46,12 +49,36 @@ func sortedKeys(m map[string]float64) []string {
 	for k := range m {
 		keys = append(keys, k)
 	}
-	for i := 1; i < len(keys); i++ {
-		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
-			keys[j], keys[j-1] = keys[j-1], keys[j]
-		}
-	}
+	sort.Strings(keys)
 	return keys
+}
+
+// parallelism is how many experiments the figure harness runs
+// concurrently; 0 (the default) means one worker per host CPU.
+var parallelism int
+
+// SetParallelism bounds the worker pool used by RunBatch and the figure
+// harness: n <= 0 restores the default of GOMAXPROCS workers. Each
+// experiment is an isolated deterministic simulation, so the worker
+// count changes wall-clock time only, never a reported number.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism = n
+}
+
+// runBatch fans a config sweep across host CPUs and returns results in
+// input order. A panic captured inside one run (always a model bug, e.g.
+// an invariant violation) is re-raised here after the rest of the batch
+// has completed, preserving the serial harness's fail-fast behaviour
+// without losing sibling runs mid-flight.
+func runBatch(exps []core.Experiment) []Result {
+	rs, err := runner.Results(runner.Run(context.Background(), exps, parallelism))
+	if err != nil {
+		panic(err)
+	}
+	return rs
 }
 
 // Table1 renders the parameter table for the studied configurations.
@@ -119,20 +146,22 @@ func fig5Single(kind core.WorkloadKind, s Scale) FigureReport {
 	}{
 		{"P1", P1()}, {"INO", INO()}, {"OOO", OOO()}, {"P8", P8()},
 	}
-	var rs []Result
-	var base Result
-	for _, c := range configs {
-		r := Run(Experiment{
+	exps := make([]core.Experiment, len(configs))
+	for i, c := range configs {
+		exps[i] = core.Experiment{
 			Name:      c.name,
 			Sys:       c.sys,
 			Work:      core.WorkloadSpec{Kind: kind},
 			WarmTx:    s.Warm,
 			MeasureTx: s.Measure,
-		})
-		if c.name == "OOO" {
+		}
+	}
+	rs := runBatch(exps)
+	var base Result
+	for _, r := range rs {
+		if r.Name == "OOO" {
 			base = r
 		}
-		rs = append(rs, r)
 	}
 	body, metrics := fig5Bars(strings.ToUpper(string(kind))+" (normalized to OOO)", base, rs)
 	return FigureReport{
@@ -172,16 +201,17 @@ func Fig5(s Scale) FigureReport {
 // Fig6 reproduces Figure 6: (a) Piranha OLTP speedup vs on-chip core
 // count and (b) the L1-miss breakdown (L2 hit / L2 fwd / L2 miss).
 func Fig6(s Scale) FigureReport {
-	var rs []Result
+	var exps []core.Experiment
 	for _, n := range []int{1, 2, 4, 8} {
-		rs = append(rs, Run(Experiment{
+		exps = append(exps, core.Experiment{
 			Name:      fmt.Sprintf("P%d", n),
 			Sys:       SystemConfig{Chips: 1, Chip: core.PiranhaChip(n)},
 			Work:      core.WorkloadSpec{Kind: core.OLTP},
 			WarmTx:    s.Warm,
 			MeasureTx: s.Measure,
-		}))
+		})
 	}
+	rs := runBatch(exps)
 	metrics := map[string]float64{}
 	t := stats.NewTable("Fig 6a: OLTP speedup vs cores", "Config", "Speedup")
 	for _, r := range rs {
@@ -217,22 +247,28 @@ func Fig7(s Scale) FigureReport {
 	metrics := map[string]float64{}
 	t := stats.NewTable("Fig 7: multi-chip OLTP speedup", "Chips", "Piranha (P4/chip)", "OOO")
 	var all []Result
+	var exps []core.Experiment
+	for n := 1; n <= 4; n++ {
+		exps = append(exps,
+			core.Experiment{
+				Name:      fmt.Sprintf("P4x%d", n),
+				Sys:       MultiChip(n, 4),
+				Work:      core.WorkloadSpec{Kind: core.OLTP},
+				WarmTx:    s.Warm,
+				MeasureTx: s.Measure,
+			},
+			core.Experiment{
+				Name:      fmt.Sprintf("OOOx%d", n),
+				Sys:       MultiChipOOO(n),
+				Work:      core.WorkloadSpec{Kind: core.OLTP},
+				WarmTx:    s.Warm,
+				MeasureTx: s.Measure,
+			})
+	}
+	rs := runBatch(exps)
 	var p1, o1 Result
 	for n := 1; n <= 4; n++ {
-		rp := Run(Experiment{
-			Name:      fmt.Sprintf("P4x%d", n),
-			Sys:       MultiChip(n, 4),
-			Work:      core.WorkloadSpec{Kind: core.OLTP},
-			WarmTx:    s.Warm,
-			MeasureTx: s.Measure,
-		})
-		ro := Run(Experiment{
-			Name:      fmt.Sprintf("OOOx%d", n),
-			Sys:       MultiChipOOO(n),
-			Work:      core.WorkloadSpec{Kind: core.OLTP},
-			WarmTx:    s.Warm,
-			MeasureTx: s.Measure,
-		})
+		rp, ro := rs[2*(n-1)], rs[2*(n-1)+1]
 		if n == 1 {
 			p1, o1 = rp, ro
 			metrics["single_chip_P4_over_OOO"] = ro.TimePerTx / rp.TimePerTx
@@ -259,23 +295,29 @@ func Fig8(s Scale) FigureReport {
 	var text strings.Builder
 	metrics := map[string]float64{}
 	var all []Result
-	for _, kind := range []core.WorkloadKind{core.OLTP, core.DSS} {
-		var rs []Result
-		var base Result
-		for _, c := range []struct {
-			name string
-			sys  SystemConfig
-		}{{"OOO", OOO()}, {"P8", P8()}, {"P8F", P8F()}} {
-			r := Run(Experiment{
+	kinds := []core.WorkloadKind{core.OLTP, core.DSS}
+	configs := []struct {
+		name string
+		sys  SystemConfig
+	}{{"OOO", OOO()}, {"P8", P8()}, {"P8F", P8F()}}
+	var exps []core.Experiment
+	for _, kind := range kinds {
+		for _, c := range configs {
+			exps = append(exps, core.Experiment{
 				Name: c.name, Sys: c.sys,
 				Work:   core.WorkloadSpec{Kind: kind},
 				WarmTx: s.Warm, MeasureTx: s.Measure,
 			})
-			if c.name == "OOO" {
+		}
+	}
+	batch := runBatch(exps)
+	for ki, kind := range kinds {
+		rs := batch[ki*len(configs) : (ki+1)*len(configs)]
+		var base Result
+		for _, r := range rs {
+			if r.Name == "OOO" {
 				base = r
 			}
-			rs = append(rs, r)
-			metrics[string(kind)+"_speedup_"+c.name] = 0 // filled below
 		}
 		body, _ := fig5Bars(strings.ToUpper(string(kind))+" (normalized to OOO)", base, rs)
 		text.WriteString(body)
@@ -297,8 +339,15 @@ func Fig8(s Scale) FigureReport {
 // TextTPCC reproduces the §4 claim that P8 outperforms OOO by over 3x on
 // a TPC-C-like workload.
 func TextTPCC(s Scale) FigureReport {
-	p8 := RunTPCC(P8(), s.Warm, s.Measure)
-	ooo := RunTPCC(OOO(), s.Warm, s.Measure)
+	tpcc := func(sys SystemConfig) core.Experiment {
+		return core.Experiment{
+			Name: "tpcc", Sys: sys,
+			Work:   core.WorkloadSpec{Kind: core.TPCC},
+			WarmTx: s.Warm, MeasureTx: s.Measure,
+		}
+	}
+	rs := runBatch([]core.Experiment{tpcc(P8()), tpcc(OOO())})
+	p8, ooo := rs[0], rs[1]
 	sp := ooo.TimePerTx / p8.TimePerTx
 	return FigureReport{
 		ID:      "tpcc",
@@ -313,9 +362,15 @@ func TextTPCC(s Scale) FigureReport {
 // 32 KB one-way L1s, 22/32 ns L2 — execution time grows ~29% but P8
 // still holds ~2.25x over OOO.
 func TextPessimistic(s Scale) FigureReport {
-	p8 := RunOLTP(P8(), s.Warm, s.Measure)
-	pess := RunOLTP(Pessimistic(), s.Warm, s.Measure)
-	ooo := RunOLTP(OOO(), s.Warm, s.Measure)
+	oltp := func(sys SystemConfig) core.Experiment {
+		return core.Experiment{
+			Name: "oltp", Sys: sys,
+			Work:   core.WorkloadSpec{Kind: core.OLTP},
+			WarmTx: s.Warm, MeasureTx: s.Measure,
+		}
+	}
+	rs := runBatch([]core.Experiment{oltp(P8()), oltp(Pessimistic()), oltp(OOO())})
+	p8, pess, ooo := rs[0], rs[1], rs[2]
 	slow := pess.TimePerTx/p8.TimePerTx - 1
 	sp := ooo.TimePerTx / pess.TimePerTx
 	return FigureReport{
@@ -336,20 +391,23 @@ func TextPessimistic(s Scale) FigureReport {
 // fraction is small (~22% at P8), so even a vastly larger L2 buys only a
 // modest improvement, while halving the CPUs costs ~2x throughput.
 func TextCacheTradeoff(s Scale) FigureReport {
-	run := func(name string, cpus, l2MB int) Result {
+	exp := func(name string, cpus, l2MB int) core.Experiment {
 		cfg := core.PiranhaChip(cpus)
 		cfg.L2.SizeBytes = l2MB << 20
-		return Run(Experiment{
+		return core.Experiment{
 			Name:      name,
 			Sys:       SystemConfig{Chips: 1, Chip: cfg},
 			Work:      core.WorkloadSpec{Kind: core.OLTP},
 			WarmTx:    s.Warm,
 			MeasureTx: s.Measure,
-		})
+		}
 	}
-	p8 := run("P8-1MB", 8, 1)
-	p8big := run("P8-8MB", 8, 8) // "even an infinite L2"
-	p4big := run("P4-8MB", 4, 8) // trade 4 CPUs for SRAM
+	rs := runBatch([]core.Experiment{
+		exp("P8-1MB", 8, 1),
+		exp("P8-8MB", 8, 8), // "even an infinite L2"
+		exp("P4-8MB", 4, 8), // trade 4 CPUs for SRAM
+	})
+	p8, p8big, p4big := rs[0], rs[1], rs[2]
 	gain := p8.TimePerTx/p8big.TimePerTx - 1
 	trade := p8.TimePerTx / p4big.TimePerTx
 	t := stats.NewTable("Sec 4: trading CPUs for L2 capacity (OLTP)",
@@ -379,19 +437,19 @@ func TextCacheTradeoff(s Scale) FigureReport {
 // memory... non-inclusion policy is effective in utilizing the total
 // amount of on-chip cache memory").
 func AblationInclusion(s Scale) FigureReport {
-	run := func(name string, inclusive bool) Result {
+	exp := func(name string, inclusive bool) core.Experiment {
 		cfg := core.PiranhaChip(8)
 		cfg.L2.Inclusive = inclusive
-		return Run(Experiment{
+		return core.Experiment{
 			Name:      name,
 			Sys:       SystemConfig{Chips: 1, Chip: cfg},
 			Work:      core.WorkloadSpec{Kind: core.OLTP},
 			WarmTx:    s.Warm,
 			MeasureTx: s.Measure,
-		})
+		}
 	}
-	non := run("non-inclusive", false)
-	inc := run("inclusive", true)
+	rs := runBatch([]core.Experiment{exp("non-inclusive", false), exp("inclusive", true)})
+	non, inc := rs[0], rs[1]
 	t := stats.NewTable("Ablation: non-inclusive (Piranha) vs inclusive L2 (OLTP, P8)",
 		"L2 policy", "ns/tx", "L2hit%", "fwd%", "mem%")
 	for _, r := range []Result{non, inc} {

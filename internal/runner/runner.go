@@ -1,0 +1,108 @@
+// Package runner fans a batch of independent experiments across host
+// CPUs. Every paper figure is a sweep of deterministic simulations, each
+// owning its private Engine, System and seeded RNG, so runs share no
+// mutable state and parallel execution returns bit-identical results in
+// input order. A panic inside one run (e.g. a post-run invariant
+// violation) is captured as that experiment's error instead of killing
+// the batch.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"piranha/internal/core"
+)
+
+// runExperiment is the work function; a variable so tests can substitute
+// panicking or cancelling workloads.
+var runExperiment = core.Run
+
+// Outcome is the result of one experiment in a batch: either a Result or
+// the error that prevented it (a captured panic, or the context error
+// for experiments skipped after cancellation).
+type Outcome struct {
+	Result core.Result
+	Err    error
+}
+
+// Run executes exps on a bounded pool of workers goroutines (workers <= 0
+// means GOMAXPROCS) and returns one Outcome per experiment, in input
+// order. Cancelling ctx stops dispatch: experiments not yet started get
+// Err = ctx.Err(), while in-flight ones run to completion so their
+// results remain usable.
+func Run(ctx context.Context, exps []core.Experiment, workers int) []Outcome {
+	out := make([]Outcome, len(exps))
+	if len(exps) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := ctx.Err(); err != nil {
+					out[i] = Outcome{Err: err}
+					continue
+				}
+				out[i] = runOne(exps[i])
+			}
+		}()
+	}
+
+	next := 0
+dispatch:
+	for ; next < len(exps); next++ {
+		select {
+		case idx <- next:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(idx)
+	for i := next; i < len(exps); i++ {
+		out[i] = Outcome{Err: ctx.Err()}
+	}
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single experiment, converting a panic into an error
+// so one bad run cannot take down the rest of the batch.
+func runOne(e core.Experiment) (o Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			o.Err = fmt.Errorf("runner: experiment %q panicked: %v\n%s", e.Name, r, debug.Stack())
+		}
+	}()
+	o.Result = runExperiment(e)
+	return o
+}
+
+// Results unwraps a batch into plain results, returning the first error
+// encountered (with its experiment index) if any run failed.
+func Results(outs []Outcome) ([]core.Result, error) {
+	rs := make([]core.Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, fmt.Errorf("experiment %d: %w", i, o.Err)
+		}
+		rs[i] = o.Result
+	}
+	return rs, nil
+}

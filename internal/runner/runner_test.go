@@ -1,0 +1,137 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"piranha/internal/core"
+)
+
+// smallExps returns a mixed sweep of genuinely distinct configurations,
+// small enough to run many times in a unit test.
+func smallExps() []core.Experiment {
+	var exps []core.Experiment
+	for _, n := range []int{1, 2, 4} {
+		exps = append(exps, core.Experiment{
+			Name:      "p",
+			Sys:       core.SystemConfig{Chips: 1, Chip: core.PiranhaChip(n)},
+			Work:      core.WorkloadSpec{Kind: core.OLTP},
+			WarmTx:    10,
+			MeasureTx: 20,
+		})
+	}
+	exps = append(exps, core.Experiment{
+		Name:      "ooo",
+		Sys:       core.SystemConfig{Chips: 1, Chip: core.OOOChip()},
+		Work:      core.WorkloadSpec{Kind: core.DSS},
+		WarmTx:    10,
+		MeasureTx: 20,
+	})
+	return exps
+}
+
+// TestParallelMatchesSerial is the core determinism guarantee: a batch
+// run through the pool yields exactly the results a serial loop yields,
+// in input order.
+func TestParallelMatchesSerial(t *testing.T) {
+	exps := smallExps()
+	want := make([]core.Result, len(exps))
+	for i, e := range exps {
+		want[i] = core.Run(e)
+	}
+	for _, workers := range []int{0, 1, 2, 8} {
+		outs := Run(context.Background(), exps, workers)
+		got, err := Results(outs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d differs:\n got %+v\nwant %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	if outs := Run(context.Background(), nil, 4); len(outs) != 0 {
+		t.Fatalf("empty batch returned %d outcomes", len(outs))
+	}
+}
+
+// TestPanicCapture substitutes a work function that panics on one
+// experiment: the batch must survive, the failing slot must carry the
+// panic as an error, and the rest must complete normally.
+func TestPanicCapture(t *testing.T) {
+	orig := runExperiment
+	defer func() { runExperiment = orig }()
+	runExperiment = func(e core.Experiment) core.Result {
+		if e.Name == "bad" {
+			panic("invariant violated")
+		}
+		return core.Result{Name: e.Name}
+	}
+	exps := []core.Experiment{{Name: "a"}, {Name: "bad"}, {Name: "c"}}
+	outs := Run(context.Background(), exps, 2)
+	if outs[0].Err != nil || outs[0].Result.Name != "a" {
+		t.Fatalf("outcome 0 corrupted: %+v", outs[0])
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "invariant violated") {
+		t.Fatalf("panic not captured: %+v", outs[1].Err)
+	}
+	if outs[2].Err != nil || outs[2].Result.Name != "c" {
+		t.Fatalf("outcome 2 corrupted: %+v", outs[2])
+	}
+	if _, err := Results(outs); err == nil || !strings.Contains(err.Error(), "experiment 1") {
+		t.Fatalf("Results did not surface the failing index: %v", err)
+	}
+}
+
+// TestContextCancellation cancels during the first experiment: completed
+// work keeps its result, everything not yet started reports ctx.Err().
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	orig := runExperiment
+	defer func() { runExperiment = orig }()
+	runExperiment = func(e core.Experiment) core.Result {
+		if e.Name == "first" {
+			cancel()
+		}
+		return core.Result{Name: e.Name}
+	}
+	exps := []core.Experiment{{Name: "first"}, {Name: "b"}, {Name: "c"}, {Name: "d"}}
+	outs := Run(ctx, exps, 1)
+	if outs[0].Err != nil || outs[0].Result.Name != "first" {
+		t.Fatalf("in-flight experiment did not complete: %+v", outs[0])
+	}
+	for i := 1; i < len(outs); i++ {
+		if !errors.Is(outs[i].Err, context.Canceled) {
+			t.Fatalf("outcome %d after cancel: %+v", i, outs[i])
+		}
+	}
+}
+
+// TestPreCancelled verifies a batch submitted with an already-cancelled
+// context does no work at all.
+func TestPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	orig := runExperiment
+	defer func() { runExperiment = orig }()
+	ran := false
+	runExperiment = func(e core.Experiment) core.Result {
+		ran = true
+		return core.Result{}
+	}
+	outs := Run(ctx, smallExps(), 4)
+	if ran {
+		t.Fatal("work ran despite pre-cancelled context")
+	}
+	for i, o := range outs {
+		if !errors.Is(o.Err, context.Canceled) {
+			t.Fatalf("outcome %d: %+v", i, o)
+		}
+	}
+}

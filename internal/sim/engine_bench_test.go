@@ -1,0 +1,77 @@
+package sim
+
+import "testing"
+
+// The engine microbenchmarks pin down the per-event cost of the hot loop
+// that every timing model runs on. EXPERIMENTS.md records the numbers
+// before and after the 4-ary value-heap rewrite.
+
+// BenchmarkSchedule measures steady-state insertion at a bounded queue
+// depth, the shape real simulations sustain: fill 4096 events, drain,
+// repeat. The callback is hoisted so the benchmark sees only the
+// engine's own cost; per-op time is one push plus its amortized pop.
+func BenchmarkSchedule(b *testing.B) {
+	e := NewEngine()
+	do := func() {}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		e.Schedule(Time(i), do)
+	}
+	e.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	t := e.Now()
+	filled := 0
+	for i := 0; i < b.N; i++ {
+		t++
+		e.Schedule(t, do)
+		if filled++; filled == depth {
+			e.Run()
+			filled = 0
+		}
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkStepHot measures the steady-state schedule-one/run-one cycle
+// that dominates simulations: a self-rescheduling event chain, as the
+// CPU and cache models produce.
+func BenchmarkStepHot(b *testing.B) {
+	e := NewEngine()
+	var chain func()
+	chain = func() { e.After(1, chain) }
+	e.Schedule(0, chain)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkChurn measures mixed schedule/run churn with a standing
+// population: each executed event reschedules four successors at jittered
+// offsets, so the heap stays ~256 deep and every Step both sifts down on
+// pop and sifts up on pushes.
+func BenchmarkChurn(b *testing.B) {
+	e := NewEngine()
+	const standing = 256
+	var spawn func()
+	live := 0
+	spawn = func() {
+		live--
+		for live < standing {
+			live++
+			// Deterministic jitter spreads timestamps so the heap is
+			// exercised at varying depths rather than acting as a FIFO.
+			e.After(Time(1+(e.Executed()*7+uint64(live)*13)%64), spawn)
+		}
+	}
+	live = 1
+	e.Schedule(0, spawn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestHeapOrderProperty drives the 4-ary heap with pseudo-random
+// timestamps (duplicates included, deterministic seed) and checks the
+// pop order against a reference sort by (time, insertion sequence).
+func TestHeapOrderProperty(t *testing.T) {
+	type key struct {
+		at  Time
+		seq int
+	}
+	rng := NewRNG(1234)
+	for trial := 0; trial < 20; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(500)
+		ref := make([]key, n)
+		var got []key
+		for i := 0; i < n; i++ {
+			// A small time range forces plenty of equal-time ties.
+			at := Time(rng.Intn(64))
+			ref[i] = key{at, i}
+			i := i
+			e.Schedule(at, func() { got = append(got, key{e.Now(), i}) })
+		}
+		sort.SliceStable(ref, func(a, b int) bool {
+			if ref[a].at != ref[b].at {
+				return ref[a].at < ref[b].at
+			}
+			return ref[a].seq < ref[b].seq
+		})
+		e.Run()
+		if len(got) != n {
+			t.Fatalf("trial %d: executed %d of %d events", trial, len(got), n)
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: pop %d = %+v, reference %+v", trial, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestHeapChurnOrder interleaves scheduling from inside callbacks with
+// pops, the pattern the timing models actually generate, and checks
+// time never goes backwards and FIFO holds within a timestamp.
+func TestHeapChurnOrder(t *testing.T) {
+	e := NewEngine()
+	rng := NewRNG(7)
+	var last Time
+	executed := 0
+	var tick func()
+	tick = func() {
+		executed++
+		if e.Now() < last {
+			t.Fatalf("time went backwards: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		if executed < 5000 {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				e.After(Time(rng.Intn(16)), tick)
+			}
+		}
+	}
+	e.Schedule(0, tick)
+	for executed < 5000 && e.Step() {
+	}
+	if executed < 5000 {
+		t.Fatalf("churn drained early at %d events", executed)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := make(map[int]bool)
+	var ids []EventID
+	for i := 0; i < 10; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Time(10+i), func() { ran[i] = true }))
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	if !e.Cancel(ids[3]) || !e.Cancel(ids[7]) {
+		t.Fatal("cancel of a pending event failed")
+	}
+	if e.Cancel(ids[3]) {
+		t.Fatal("double cancel succeeded")
+	}
+	if e.Pending() != 8 {
+		t.Fatalf("Pending after cancels = %d, want 8", e.Pending())
+	}
+	e.Run()
+	for i := 0; i < 10; i++ {
+		want := i != 3 && i != 7
+		if ran[i] != want {
+			t.Fatalf("event %d ran=%v, want %v", i, ran[i], want)
+		}
+	}
+	// All events retired: a stale ID must not cancel anything new.
+	if e.Cancel(ids[0]) {
+		t.Fatal("stale ID cancelled after execution")
+	}
+}
+
+// TestCancelGeneration reuses a retired slot and checks a stale EventID
+// for its previous occupant cannot cancel the new event.
+func TestCancelGeneration(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(5, func() {})
+	e.Run() // slot retired, generation bumped
+	ran := false
+	fresh := e.Schedule(10, func() { ran = true })
+	if fresh.slot != stale.slot {
+		t.Fatalf("free list did not reuse the slot (%d vs %d)", fresh.slot, stale.slot)
+	}
+	if e.Cancel(stale) {
+		t.Fatal("stale ID cancelled the slot's new occupant")
+	}
+	e.Run()
+	if !ran {
+		t.Fatal("fresh event did not run")
+	}
+}
+
+// TestCancelledEventsPruned checks RunUntil and Pending see through
+// lazily-removed cancelled entries at the top of the heap.
+func TestCancelledEventsPruned(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(10, func() { t.Fatal("cancelled event ran") })
+	ran := false
+	e.Schedule(50, func() { ran = true })
+	e.Cancel(id)
+	e.RunUntil(20)
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20 (cancelled event must not advance time)", e.Now())
+	}
+	if ran {
+		t.Fatal("t=50 event ran before its time")
+	}
+	e.RunUntil(60)
+	if !ran || e.Now() != 60 {
+		t.Fatalf("ran=%v Now=%d, want true/60", ran, e.Now())
+	}
+}

@@ -132,6 +132,13 @@ func RunTPCC(sys SystemConfig, warm, measure uint64) Result {
 // Run executes a fully-specified experiment.
 func Run(e Experiment) Result { return core.Run(e) }
 
+// RunBatch executes independent experiments concurrently on a bounded
+// worker pool (see SetParallelism) and returns results in input order.
+// Every experiment owns a private engine and seeded RNG, so the batch is
+// deterministic: RunBatch yields exactly what a serial loop over Run
+// would, only faster on multi-core hosts.
+func RunBatch(exps []Experiment) []Result { return runBatch(exps) }
+
 // Scale multiplies all transaction counts in the figure harnesses;
 // useful to trade precision for speed.
 type Scale struct {
