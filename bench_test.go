@@ -17,7 +17,12 @@ package piranha
 // internal/sim/engine_bench_test.go.
 
 import (
+	"io"
 	"testing"
+	"time"
+
+	"piranha/internal/core"
+	"piranha/internal/trace"
 )
 
 // benchScale keeps the whole suite tractable; cmd/figures uses
@@ -28,6 +33,52 @@ func reportMetrics(b *testing.B, f FigureReport) {
 	b.Helper()
 	for k, v := range f.Metrics {
 		b.ReportMetric(v, k)
+	}
+}
+
+// BenchmarkRun_NoTrace is the tracing-off baseline for one P8/OLTP run:
+// with no tracer attached the instrumented hot paths must cost nothing
+// (compare ns/op and allocs/op against BenchmarkRun_Traced; the pair is
+// recorded in EXPERIMENTS.md).
+func BenchmarkRun_NoTrace(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(P8(), OLTP(), WithScale(benchScale))
+	}
+}
+
+// BenchmarkRun_Traced runs the same experiment with the ring tracer
+// recording every component event but without exporting it: the delta
+// over BenchmarkRun_NoTrace is the pure recording cost (the ring and
+// its count set are the only extra allocations, made once at setup).
+func BenchmarkRun_Traced(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		RunExperiment(Experiment{
+			Name: "bench", Sys: P8(),
+			Work:   core.WorkloadSpec{Kind: core.OLTP},
+			WarmTx: benchScale.Warm, MeasureTx: benchScale.Measure,
+			Trace: trace.New(0),
+		})
+	}
+}
+
+// BenchmarkRun_TracedExport additionally serializes the trace to
+// io.Discard, covering the full -trace code path including the Chrome
+// JSON writer.
+func BenchmarkRun_TracedExport(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(P8(), OLTP(), WithScale(benchScale), WithTrace(io.Discard))
+	}
+}
+
+// BenchmarkRun_Intervals adds the per-window sampler on top of the
+// untraced baseline.
+func BenchmarkRun_Intervals(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Run(P8(), OLTP(), WithScale(benchScale), WithIntervals(2*time.Microsecond))
 	}
 }
 

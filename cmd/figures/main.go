@@ -15,9 +15,15 @@
 // Every simulation is deterministic and self-contained, so artifacts are
 // generated concurrently (and each config sweep fans out internally via
 // piranha.RunBatch); the printed output is identical to a serial run.
+//
+// -intervals 2us appends per-run ASCII sparklines (busy, busy fraction,
+// miss rate per window) to each report; -trace out.json additionally
+// captures a Chrome trace-event file covering every simulated run;
+// -json prints each report as a JSON object instead of text.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,9 +36,18 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced transaction counts")
 	only := flag.String("only", "", "generate a single artifact")
 	parallel := flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU, 1 = serial)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file covering all runs")
+	jsonOut := flag.Bool("json", false, "print reports as JSON objects, one per line")
+	intervals := flag.Duration("intervals", 0, "sample interval metrics per window of simulated time (e.g. 2us)")
 	flag.Parse()
 
 	piranha.SetParallelism(*parallel)
+	if *intervals > 0 {
+		piranha.SetIntervals(*intervals)
+	}
+	if *traceOut != "" {
+		piranha.SetTraceCapture(0)
+	}
 
 	scale := piranha.PaperScale
 	if *quick {
@@ -77,27 +92,67 @@ func main() {
 
 	// Artifacts are independent deterministic computations: generate them
 	// concurrently (bounded by the same worker budget as the sweeps), but
-	// print strictly in the canonical order.
+	// print strictly in the canonical order. Trace capture accumulates
+	// batches in submission order, so it needs the artifacts themselves
+	// generated sequentially (each sweep still fans out internally).
 	workers := *parallel
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	reports := make([]piranha.FigureReport, len(selected))
-	sem := make(chan struct{}, workers)
-	done := make(chan int)
-	for i, a := range selected {
-		i, a := i, a
-		go func() {
-			sem <- struct{}{}
+	if *traceOut != "" {
+		for i, a := range selected {
 			reports[i] = a.gen()
-			<-sem
-			done <- i
-		}()
+		}
+	} else {
+		sem := make(chan struct{}, workers)
+		done := make(chan int)
+		for i, a := range selected {
+			i, a := i, a
+			go func() {
+				sem <- struct{}{}
+				reports[i] = a.gen()
+				<-sem
+				done <- i
+			}()
+		}
+		for range selected {
+			<-done
+		}
 	}
-	for range selected {
-		<-done
-	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, r := range reports {
+		if *jsonOut {
+			if err := enc.Encode(reportJSON{ID: r.ID, Title: r.Title, Metrics: r.Metrics, Results: r.Results}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
 		fmt.Println(r)
 	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := piranha.WriteCapturedTraces(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// reportJSON is the -json wire form of one artifact; each result inside
+// carries its own schema_version (see DESIGN.md).
+type reportJSON struct {
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Metrics map[string]float64 `json:"metrics"`
+	Results []piranha.Result   `json:"results,omitempty"`
 }

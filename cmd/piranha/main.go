@@ -16,10 +16,17 @@
 // Sweeps fan out across host CPUs (bounded by -parallel); each run is an
 // isolated deterministic simulation, so results are printed in sweep
 // order and are identical to running each pair alone.
+//
+// -trace out.json writes a Chrome trace-event file (open in Perfetto or
+// chrome://tracing) covering every run in the sweep; -intervals samples
+// per-window busy/stall/miss series; -json prints one versioned Result
+// object per experiment instead of the text summary. Traces and JSON
+// are byte-identical regardless of -parallel.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,18 +35,23 @@ import (
 	"piranha"
 	"piranha/internal/core"
 	"piranha/internal/runner"
+	"piranha/internal/sim"
+	"piranha/internal/trace"
 )
 
 func main() {
 	var (
-		config   = flag.String("config", "p8", "comma-separated configurations: p1|p2|p4|p8|ino|ooo|p8f|pess")
-		work     = flag.String("workload", "oltp", "comma-separated workloads: oltp|dss|tpcc|web")
-		chips    = flag.Int("chips", 1, "number of chips (glueless interconnect)")
-		warm     = flag.Uint64("warm", 100, "warm-up transactions")
-		tx       = flag.Uint64("tx", 200, "measured transactions")
-		seed     = flag.Uint64("seed", 0, "workload seed (0 = default)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU, 1 = serial)")
-		verbose  = flag.Bool("v", false, "print full statistics")
+		config    = flag.String("config", "p8", "comma-separated configurations: p1|p2|p4|p8|ino|ooo|p8f|pess")
+		work      = flag.String("workload", "oltp", "comma-separated workloads: oltp|dss|tpcc|web")
+		chips     = flag.Int("chips", 1, "number of chips (glueless interconnect)")
+		warm      = flag.Uint64("warm", 100, "warm-up transactions")
+		tx        = flag.Uint64("tx", 200, "measured transactions")
+		seed      = flag.Uint64("seed", 0, "workload seed (0 = default)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU, 1 = serial)")
+		verbose   = flag.Bool("v", false, "print full statistics")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file covering all runs")
+		jsonOut   = flag.Bool("json", false, "print results as versioned JSON, one object per line")
+		intervals = flag.Duration("intervals", 0, "sample interval metrics per window of simulated time (e.g. 2us)")
 	)
 	flag.Parse()
 
@@ -73,18 +85,24 @@ func main() {
 				// per workload.
 				name = c + "/" + w
 			}
-			exps = append(exps, core.Experiment{
+			e := core.Experiment{
 				Name:      name,
 				Sys:       sys,
 				Work:      core.WorkloadSpec{Kind: kind},
 				WarmTx:    *warm,
 				MeasureTx: *tx,
 				Seed:      *seed,
-			})
+				Intervals: sim.Time(intervals.Nanoseconds()) * sim.Nanosecond,
+			}
+			if *traceOut != "" {
+				e.Trace = trace.New(0)
+			}
+			exps = append(exps, e)
 		}
 	}
 
 	failed := false
+	enc := json.NewEncoder(os.Stdout)
 	for _, out := range runner.Run(context.Background(), exps, *parallel) {
 		if out.Err != nil {
 			fmt.Fprintln(os.Stderr, out.Err)
@@ -92,7 +110,17 @@ func main() {
 			continue
 		}
 		res := out.Result
+		if *jsonOut {
+			if err := enc.Encode(res); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				failed = true
+			}
+			continue
+		}
 		fmt.Println(res)
+		if res.Series.Len() > 0 {
+			fmt.Print(res.Series)
+		}
 		if *verbose {
 			busy, hit, miss, other := res.Agg.Normalized(res.Agg.Total())
 			fmt.Printf("\nexecution time breakdown:\n")
@@ -115,6 +143,26 @@ func main() {
 			fmt.Printf("instructions retired: %d\n", res.Instructions)
 			fmt.Printf("context switches:     %d\n", res.CtxSwitches)
 			fmt.Printf("open-page hit rate:   %.1f%%\n", res.PageHitRate*100)
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traces := make([]*trace.Tracer, len(exps))
+		labels := make([]string, len(exps))
+		for i, e := range exps {
+			traces[i], labels[i] = e.Trace, e.Name
+		}
+		if err := trace.WriteChromeMulti(f, traces, labels, 0); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 	if failed {

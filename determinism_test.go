@@ -19,7 +19,7 @@ func TestRunDeterministic(t *testing.T) {
 		MeasureTx: tiny.Measure,
 		Seed:      99,
 	}
-	a, b := Run(exp), Run(exp)
+	a, b := RunExperiment(exp), RunExperiment(exp)
 	if a != b {
 		t.Fatalf("same-seed runs differ:\n a=%+v\n b=%+v", a, b)
 	}
@@ -28,7 +28,7 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	// A different seed must actually change the simulation.
 	exp.Seed = 100
-	if c := Run(exp); c == a {
+	if c := RunExperiment(exp); c == a {
 		t.Fatal("different seed produced an identical result")
 	}
 }
@@ -45,7 +45,7 @@ func TestRunBatchMatchesSerial(t *testing.T) {
 	}
 	want := make([]Result, len(exps))
 	for i, e := range exps {
-		want[i] = Run(e)
+		want[i] = RunExperiment(e)
 	}
 	for _, workers := range []int{1, 4} {
 		SetParallelism(workers)

@@ -3,8 +3,11 @@ package piranha
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"piranha/internal/area"
 	"piranha/internal/cache"
@@ -17,6 +20,7 @@ import (
 	"piranha/internal/runner"
 	"piranha/internal/sim"
 	"piranha/internal/stats"
+	"piranha/internal/trace"
 	"piranha/internal/useq"
 )
 
@@ -39,6 +43,13 @@ func (f FigureReport) String() string {
 		b.WriteString("metrics:\n")
 		for _, k := range sortedKeys(f.Metrics) {
 			fmt.Fprintf(&b, "  %-32s %8.3f\n", k, f.Metrics[k])
+		}
+	}
+	// Interval series appear only when the harness ran with SetIntervals,
+	// so the default rendering stays byte-identical to figures_output.txt.
+	for _, r := range f.Results {
+		if r.Series.Len() > 0 {
+			fmt.Fprintf(&b, "series %s: %s", r.Name, r.Series)
 		}
 	}
 	return b.String()
@@ -68,15 +79,78 @@ func SetParallelism(n int) {
 	parallelism = n
 }
 
+// Harness-wide tracing and interval settings. The figure functions
+// build their own experiment lists; these settings let cmd/figures turn
+// on interval sampling or trace capture for every run in a sweep
+// without threading options through each harness.
+var (
+	harnessMu       sync.Mutex
+	harnessInterval sim.Time
+	captureTraces   bool
+	captureCap      int
+	captured        []*trace.Tracer
+	capturedLabels  []string
+)
+
+// SetIntervals makes every subsequent harness run sample interval
+// metrics with the given bin width (0 disables). Reports then append
+// per-run ASCII sparklines after their metrics block.
+func SetIntervals(d time.Duration) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	harnessInterval = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// SetTraceCapture makes every subsequent harness run record a trace
+// with the given ring capacity (0 selects the default), accumulating
+// them for WriteCapturedTraces. Passing a negative capacity disables
+// capture and discards anything accumulated.
+func SetTraceCapture(capacity int) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	captureTraces = capacity >= 0
+	captureCap = capacity
+	captured, capturedLabels = nil, nil
+}
+
+// WriteCapturedTraces merges every trace captured since SetTraceCapture
+// into one Chrome trace-event JSON document, one process per run, in
+// the order the harness submitted the runs (deterministic under any
+// parallelism setting).
+func WriteCapturedTraces(w io.Writer) error {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	return trace.WriteChromeMulti(w, captured, capturedLabels, 0)
+}
+
 // runBatch fans a config sweep across host CPUs and returns results in
 // input order. A panic captured inside one run (always a model bug, e.g.
 // an invariant violation) is re-raised here after the rest of the batch
 // has completed, preserving the serial harness's fail-fast behaviour
 // without losing sibling runs mid-flight.
 func runBatch(exps []core.Experiment) []Result {
+	harnessMu.Lock()
+	iv, capture, capN := harnessInterval, captureTraces, captureCap
+	harnessMu.Unlock()
+	for i := range exps {
+		if iv > 0 && exps[i].Intervals == 0 {
+			exps[i].Intervals = iv
+		}
+		if capture && exps[i].Trace == nil {
+			exps[i].Trace = trace.New(capN)
+		}
+	}
 	rs, err := runner.Results(runner.Run(context.Background(), exps, parallelism))
 	if err != nil {
 		panic(err)
+	}
+	if capture {
+		harnessMu.Lock()
+		for i := range exps {
+			captured = append(captured, exps[i].Trace)
+			capturedLabels = append(capturedLabels, exps[i].Name)
+		}
+		harnessMu.Unlock()
 	}
 	return rs
 }

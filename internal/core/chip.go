@@ -18,6 +18,7 @@ import (
 	"piranha/internal/memctl"
 	"piranha/internal/sim"
 	"piranha/internal/stats"
+	"piranha/internal/trace"
 )
 
 // ChipConfig describes one processing chip.
@@ -47,6 +48,25 @@ type Chip struct {
 	L2    *l2.L2
 	MCs   []*memctl.Controller
 	SW    *ics.Switch
+
+	tr     *trace.Tracer
+	series *stats.Series
+	node   uint8
+}
+
+// Attach wires a tracer and an interval sampler (either may be nil)
+// through every component of the chip, stamping events with the chip
+// index.
+func (c *Chip) Attach(tr *trace.Tracer, series *stats.Series, node uint8) {
+	c.tr, c.series, c.node = tr, series, node
+	c.L2.SetTracer(tr, node)
+	c.SW.SetTracer(tr, node)
+	for i, mc := range c.MCs {
+		mc.SetTracer(tr, node, int16(i))
+	}
+	for _, core := range c.Cores {
+		core.Tracer, core.Series, core.Node = tr, series, node
+	}
 }
 
 // NewChip builds a chip wired to the given protocol-engine side (use
@@ -89,18 +109,26 @@ func (c *Chip) Access(now sim.Time, cpuID int, kind cpu.AccessKind, a cache.Addr
 		st, tlbHit := il1.Probe(a)
 		now = c.refill(now, tlbHit)
 		if st.Valid() {
+			c.series.AddAccess(now, false)
 			return now, l2.SvcL1
 		}
-		return c.L2.Access(now, il1, l2.Read, a)
+		c.series.AddAccess(now, true)
+		done, svc := c.L2.Access(now, il1, l2.Read, a)
+		c.tr.Span(trace.L1, trace.KMissFetch, c.node, int16(il1.ID), uint64(a), now, done, uint32(svc))
+		return done, svc
 
 	case cpu.Load:
 		dl1 := c.DL1[cpuID]
 		st, tlbHit := dl1.Probe(a)
 		now = c.refill(now, tlbHit)
 		if st.Valid() {
+			c.series.AddAccess(now, false)
 			return now, l2.SvcL1
 		}
-		return c.L2.Access(now, dl1, l2.Read, a)
+		c.series.AddAccess(now, true)
+		done, svc := c.L2.Access(now, dl1, l2.Read, a)
+		c.tr.Span(trace.L1, trace.KMissLoad, c.node, int16(dl1.ID), uint64(a), now, done, uint32(svc))
+		return done, svc
 
 	case cpu.Store:
 		dl1 := c.DL1[cpuID]
@@ -110,13 +138,16 @@ func (c *Chip) Access(now sim.Time, cpuID int, kind cpu.AccessKind, a cache.Addr
 			// E -> M is a silent transition; dirtiness reaches the L2
 			// bank with the eventual owner write-back.
 			dl1.SetState(a.Line(), cache.Modified)
+			c.series.AddAccess(now, false)
 			return now, l2.SvcL1
 		}
 		kindL2 := l2.ReadEx
 		if st == cache.Shared {
 			kindL2 = l2.Upgrade
 		}
+		c.series.AddAccess(now, true)
 		done, svc := c.L2.Access(now, dl1, kindL2, a)
+		c.tr.Span(trace.L1, trace.KMissStore, c.node, int16(dl1.ID), uint64(a), now, done, uint32(svc))
 		// The store retires into the store buffer; the CPU waits only
 		// when all entries are occupied by in-flight misses.
 		free := dl1.SB.Acquire(now, done-now) - (done - now)

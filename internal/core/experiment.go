@@ -2,11 +2,14 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
 	"piranha/internal/kernel"
 	"piranha/internal/l2"
 	"piranha/internal/sim"
 	"piranha/internal/stats"
+	"piranha/internal/trace"
 	"piranha/internal/workload"
 )
 
@@ -40,6 +43,12 @@ type Experiment struct {
 	WarmTx    uint64
 	MeasureTx uint64
 	Seed      uint64
+	// Trace, when non-nil, records component events for the measured
+	// phase (the tracer is Reset at the warm/measure boundary).
+	Trace *trace.Tracer
+	// Intervals, when positive, samples machine-wide busy/stall/miss
+	// activity per window of simulated time into Result.Series.
+	Intervals sim.Time
 }
 
 // Result carries the measurements an experiment produces.
@@ -68,6 +77,10 @@ type Result struct {
 	L2 l2.Stats
 	// Svc counts core-side accesses by service class (index l2.Svc).
 	Svc [6]uint64
+	// Series holds the per-interval time series when the experiment ran
+	// with Intervals set; nil otherwise. A pointer keeps Result values
+	// comparable with == for determinism checks.
+	Series *stats.Series
 }
 
 // String renders a one-line summary.
@@ -77,10 +90,20 @@ func (r Result) String() string {
 		r.Name, r.Chips, r.CPUs, r.Tx, r.TimePerTx, busy, hit, miss, other)
 }
 
+// forceTrace reports whether PIRANHA_FORCE_TRACE is set: every run then
+// records into a throwaway tracer, exercising the instrumented paths
+// (the CI force-traced suite).
+var forceTrace = sync.OnceValue(func() bool {
+	return os.Getenv("PIRANHA_FORCE_TRACE") != ""
+})
+
 // Run executes the experiment.
 func Run(e Experiment) Result {
 	if e.MeasureTx == 0 {
 		e.MeasureTx = 200
+	}
+	if e.Trace == nil && forceTrace() {
+		e.Trace = trace.New(0)
 	}
 	if e.Work.Kind == "" {
 		e.Work.Kind = OLTP
@@ -90,6 +113,13 @@ func Run(e Experiment) Result {
 		e.Sys.Chip.Core.IPC = workload.OOOIPC(string(e.Work.Kind))
 	}
 	sys := NewSystem(e.Sys)
+	var series *stats.Series
+	if e.Intervals > 0 {
+		series = stats.NewSeries(e.Intervals)
+	}
+	if e.Trace != nil || series != nil {
+		sys.Attach(e.Trace, series)
+	}
 	lay := workload.DefaultLayout()
 	ncpu := sys.TotalCPUs()
 	seed := e.Seed
@@ -149,6 +179,11 @@ func Run(e Experiment) Result {
 		sys.Kern.RunTx(e.WarmTx)
 	}
 	sys.ResetStats()
+	// The trace and series cover exactly the measured phase; Reset
+	// reuses their storage rather than reallocating (warm-phase events
+	// are discarded, the count set keeps its counters zeroed).
+	e.Trace.Reset()
+	series.Reset(sys.Engine.Now())
 	elapsed := sys.Kern.RunTx(e.WarmTx + e.MeasureTx)
 
 	r := Result{
@@ -159,6 +194,7 @@ func Run(e Experiment) Result {
 		Elapsed:     elapsed,
 		TimePerTx:   float64(elapsed) / float64(e.MeasureTx) / float64(sim.Nanosecond),
 		CtxSwitches: sys.Kern.Switches,
+		Series:      series,
 	}
 	var pageHits, pageTotal uint64
 	for _, chip := range sys.Chips {

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"encoding/json"
+
+	"piranha/internal/stats"
+)
+
+// ResultSchemaVersion is the version stamped into every Result JSON
+// object as "schema_version". Bump it on any breaking change to the
+// wire shape (renamed/removed fields, changed units); additive fields
+// do not require a bump. The schema is documented in DESIGN.md.
+const ResultSchemaVersion = 1
+
+// resultJSON is the versioned wire form of Result. All simulated times
+// are picoseconds (the engine unit) except time_per_tx_ns, which is the
+// headline nanoseconds-per-transaction metric as printed by the CLI.
+type resultJSON struct {
+	SchemaVersion int     `json:"schema_version"`
+	Name          string  `json:"name"`
+	Chips         int     `json:"chips"`
+	CPUs          int     `json:"cpus"`
+	Tx            uint64  `json:"tx"`
+	ElapsedPs     int64   `json:"elapsed_ps"`
+	TimePerTxNs   float64 `json:"time_per_tx_ns"`
+
+	Breakdown breakdownJSON `json:"breakdown"`
+	Miss      missJSON      `json:"l1_miss_breakdown"`
+
+	PageHitRate  float64 `json:"page_hit_rate"`
+	Instructions uint64  `json:"instructions"`
+	IdlePs       int64   `json:"idle_ps"`
+	CtxSwitches  uint64  `json:"ctx_switches"`
+
+	L2  l2JSON  `json:"l2"`
+	Svc svcJSON `json:"svc"`
+
+	Series *stats.Series `json:"series,omitempty"`
+}
+
+// breakdownJSON carries the Figure-5 execution-time split, both as raw
+// simulated time and as fractions of the total.
+type breakdownJSON struct {
+	BusyPs     int64   `json:"busy_ps"`
+	L2HitPs    int64   `json:"l2hit_stall_ps"`
+	L2MissPs   int64   `json:"l2miss_stall_ps"`
+	OtherPs    int64   `json:"other_ps"`
+	BusyFrac   float64 `json:"busy_frac"`
+	L2HitFrac  float64 `json:"l2hit_frac"`
+	L2MissFrac float64 `json:"l2miss_frac"`
+	OtherFrac  float64 `json:"other_frac"`
+}
+
+// missJSON is the Figure-6b L1-miss service split.
+type missJSON struct {
+	L2Hit  uint64 `json:"l2_hit"`
+	L2Fwd  uint64 `json:"l2_fwd"`
+	L2Miss uint64 `json:"l2_miss"`
+}
+
+// l2JSON flattens the L2 controller counters.
+type l2JSON struct {
+	Hits            uint64 `json:"hits"`
+	Fwds            uint64 `json:"fwds"`
+	LocalMem        uint64 `json:"local_mem"`
+	Remote          uint64 `json:"remote"`
+	RemoteDirty     uint64 `json:"remote_dirty"`
+	Upgrades        uint64 `json:"upgrades"`
+	WritebacksToL2  uint64 `json:"writebacks_to_l2"`
+	WritebacksToMem uint64 `json:"writebacks_to_mem"`
+	Invals          uint64 `json:"invals"`
+}
+
+// svcJSON names the per-service-class access counts (index l2.Svc).
+type svcJSON struct {
+	L1          uint64 `json:"l1"`
+	L2Hit       uint64 `json:"l2_hit"`
+	L2Fwd       uint64 `json:"l2_fwd"`
+	LocalMem    uint64 `json:"local_mem"`
+	Remote      uint64 `json:"remote"`
+	RemoteDirty uint64 `json:"remote_dirty"`
+}
+
+// MarshalJSON renders the Result in its versioned wire form
+// (schema_version 1; see DESIGN.md for the field reference).
+func (r Result) MarshalJSON() ([]byte, error) {
+	busy, hit, miss, other := r.Agg.Normalized(r.Agg.Total())
+	return json.Marshal(resultJSON{
+		SchemaVersion: ResultSchemaVersion,
+		Name:          r.Name,
+		Chips:         r.Chips,
+		CPUs:          r.CPUs,
+		Tx:            r.Tx,
+		ElapsedPs:     int64(r.Elapsed),
+		TimePerTxNs:   r.TimePerTx,
+		Breakdown: breakdownJSON{
+			BusyPs:     int64(r.Agg.CPUBusy),
+			L2HitPs:    int64(r.Agg.L2HitStall),
+			L2MissPs:   int64(r.Agg.L2Miss),
+			OtherPs:    int64(r.Agg.Other),
+			BusyFrac:   busy,
+			L2HitFrac:  hit,
+			L2MissFrac: miss,
+			OtherFrac:  other,
+		},
+		Miss: missJSON{
+			L2Hit:  r.Miss.L2Hit,
+			L2Fwd:  r.Miss.L2Fwd,
+			L2Miss: r.Miss.L2Miss,
+		},
+		PageHitRate:  r.PageHitRate,
+		Instructions: r.Instructions,
+		IdlePs:       int64(r.Idle),
+		CtxSwitches:  r.CtxSwitches,
+		L2: l2JSON{
+			Hits:            r.L2.Hits,
+			Fwds:            r.L2.Fwds,
+			LocalMem:        r.L2.LocalMem,
+			Remote:          r.L2.Remote,
+			RemoteDirty:     r.L2.RemoteDirty,
+			Upgrades:        r.L2.Upgrades,
+			WritebacksToL2:  r.L2.WritebacksToL2,
+			WritebacksToMem: r.L2.WritebacksToMem,
+			Invals:          r.L2.Invals,
+		},
+		Svc: svcJSON{
+			L1:          r.Svc[0],
+			L2Hit:       r.Svc[1],
+			L2Fwd:       r.Svc[2],
+			LocalMem:    r.Svc[3],
+			Remote:      r.Svc[4],
+			RemoteDirty: r.Svc[5],
+		},
+		Series: r.Series,
+	})
+}

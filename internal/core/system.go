@@ -7,6 +7,8 @@ import (
 	"piranha/internal/noc"
 	"piranha/internal/pe"
 	"piranha/internal/sim"
+	"piranha/internal/stats"
+	"piranha/internal/trace"
 )
 
 // SystemConfig describes a complete machine: one or more Piranha chips
@@ -82,6 +84,19 @@ func NewSystem(cfg SystemConfig) *System {
 	}
 	s.Kern = kernel.New(s.Engine, s.Cores, cfg.Kernel)
 	return s
+}
+
+// Attach wires a tracer and an interval sampler (either may be nil)
+// through every component of the machine: cores, caches, L2 banks,
+// switches, memory controllers, protocol engines, and the kernel.
+func (s *System) Attach(tr *trace.Tracer, series *stats.Series) {
+	for i, chip := range s.Chips {
+		chip.Attach(tr, series, uint8(i))
+	}
+	if s.Fabric != nil {
+		s.Fabric.SetTracer(tr)
+	}
+	s.Kern.SetTracer(tr)
 }
 
 // TotalCPUs returns the machine's CPU count.

@@ -4,6 +4,7 @@ import (
 	"piranha/internal/l2"
 	"piranha/internal/sim"
 	"piranha/internal/stats"
+	"piranha/internal/trace"
 )
 
 // Model selects and parameterizes a core's microarchitecture.
@@ -71,6 +72,13 @@ type Core struct {
 	// Counters by service class.
 	SvcCounts [6]uint64
 
+	// Tracer records pipeline-stall spans; nil disables tracing.
+	Tracer *trace.Tracer
+	// Series samples busy/stall time per interval; nil disables sampling.
+	Series *stats.Series
+	// Node is the chip index, stamped on trace events.
+	Node uint8
+
 	// OOO state.
 	pending     []pendingMiss
 	lastLoad    sim.Time // completion of the most recent load (dependences)
@@ -82,8 +90,9 @@ func New(id int, m Model, mem MemSystem) *Core {
 	return &Core{ID: id, Model: m, Mem: mem}
 }
 
-// charge attributes a stall to the right bucket.
-func (c *Core) charge(svc l2.Svc, d sim.Time) {
+// charge attributes the stall over [start, end) to the right bucket.
+func (c *Core) charge(svc l2.Svc, start, end sim.Time) {
+	d := end - start
 	if d <= 0 {
 		return
 	}
@@ -92,9 +101,13 @@ func (c *Core) charge(svc l2.Svc, d sim.Time) {
 		c.Breakdown.L2HitStall += d
 	case l2.SvcL1:
 		c.Breakdown.CPUBusy += d
+		c.Series.AddBusy(start, end)
+		return
 	default:
 		c.Breakdown.L2Miss += d
 	}
+	c.Series.AddStall(start, end)
+	c.Tracer.Span(trace.CPU, trace.KStall, c.Node, int16(c.ID), 0, start, end, uint32(svc))
 }
 
 // Exec runs one op starting at now and returns when the core can proceed
@@ -128,6 +141,7 @@ func (c *Core) tickBusy(now sim.Time, n int32) sim.Time {
 	}
 	c.Breakdown.CPUBusy += d
 	c.Instructions += uint64(n)
+	c.Series.AddBusy(now, now+d)
 	return now + d
 }
 
@@ -170,7 +184,7 @@ func (c *Core) computeOOO(now sim.Time, n int32) sim.Time {
 		}
 		// The window is full behind the outstanding miss: stall until
 		// it completes.
-		c.charge(oldest.svc, oldest.done-now)
+		c.charge(oldest.svc, now, oldest.done)
 		now = oldest.done
 		c.pending = c.pending[1:]
 	}
@@ -185,13 +199,13 @@ func (c *Core) fetch(now sim.Time, op Op) sim.Time {
 	}
 	c.SvcCounts[svc]++
 	if c.Model.InOrder() {
-		c.charge(svc, done-now)
+		c.charge(svc, now, done)
 		return done
 	}
 	// OOO front ends also stall on I-misses (fetch is in-order), but
 	// the window lets some latency overlap with retirement: model as a
 	// pending slot like a load the next compute run depends on.
-	c.charge(svc, done-now)
+	c.charge(svc, now, done)
 	return done
 }
 
@@ -206,7 +220,7 @@ func (c *Core) load(now sim.Time, op Op) sim.Time {
 	}
 	// Blocking cache: the pipeline stalls for the whole miss.
 	c.Instructions++
-	c.charge(svc, done-now)
+	c.charge(svc, now, done)
 	return done
 }
 
@@ -217,6 +231,7 @@ func (c *Core) busyHit(now, done sim.Time) sim.Time {
 	end := c.tickBusy(now, 1)
 	if done > end {
 		c.Breakdown.CPUBusy += done - end
+		c.Series.AddBusy(end, done)
 		end = done
 	}
 	return end
@@ -228,7 +243,7 @@ func (c *Core) loadOOO(now sim.Time, op Op) sim.Time {
 		// Data-dependent on the previous load: cannot issue until the
 		// producer returns. This serialization is why OLTP gains
 		// little from out-of-order execution (paper §4).
-		c.charge(c.lastLoadSvc, c.lastLoad-issue)
+		c.charge(c.lastLoadSvc, issue, c.lastLoad)
 		issue = c.lastLoad
 	}
 	done, svc := c.Mem.Access(issue, c.ID, Load, op.Addr)
@@ -243,7 +258,7 @@ func (c *Core) loadOOO(now sim.Time, op Op) sim.Time {
 		e := c.pending[0]
 		c.pending = c.pending[1:]
 		if e.done > issue {
-			c.charge(e.svc, e.done-issue)
+			c.charge(e.svc, issue, e.done)
 			issue = e.done
 		}
 	}
@@ -263,7 +278,7 @@ func (c *Core) store(now sim.Time, op Op) sim.Time {
 		// The memory system returns store-buffer back-pressure only
 		// (the miss itself drains in the background); charge any wait.
 		c.Instructions++
-		c.charge(svc, done-now)
+		c.charge(svc, now, done)
 		return done
 	}
 	// OOO: stores retire through the write buffer off the critical path.

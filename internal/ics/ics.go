@@ -17,7 +17,10 @@
 //     used to avoid intra-chip protocol deadlock.
 package ics
 
-import "piranha/internal/sim"
+import (
+	"piranha/internal/sim"
+	"piranha/internal/trace"
+)
 
 // Lane is one of the two logical lanes multiplexed on the datapaths.
 type Lane uint8
@@ -50,11 +53,18 @@ type Switch struct {
 	cfg   Config
 	paths *sim.Server
 
+	tr   *trace.Tracer
+	node uint8
+
 	// Per-lane transfer counts (the lanes share the datapaths; they are
 	// distinct ready/ID signaling, not extra wires).
 	Transfers [2]uint64
 	Bytes     [2]uint64
 }
+
+// SetTracer attaches a tracer (nil disables) stamping events with the
+// chip index.
+func (s *Switch) SetTracer(tr *trace.Tracer, node uint8) { s.tr, s.node = tr, node }
 
 // New returns an idle switch.
 func New(cfg Config) *Switch {
@@ -75,7 +85,9 @@ func (s *Switch) Transfer(now sim.Time, lane Lane, size int, hinted bool) sim.Ti
 	}
 	s.Transfers[lane]++
 	s.Bytes[lane] += uint64(size)
-	return s.paths.Acquire(now, s.cfg.Clock.Cycles(cycles))
+	done := s.paths.Acquire(now, s.cfg.Clock.Cycles(cycles))
+	s.tr.Span(trace.NOC, trace.KICS, s.node, int16(lane), 0, now, done, uint32(size))
+	return done
 }
 
 // PeakBandwidth returns the switch's aggregate bandwidth in bytes/sec.

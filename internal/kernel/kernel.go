@@ -14,6 +14,7 @@ package kernel
 import (
 	"piranha/internal/cpu"
 	"piranha/internal/sim"
+	"piranha/internal/trace"
 )
 
 // Stream produces a process's architectural op stream.
@@ -56,6 +57,8 @@ type Kernel struct {
 	cur   []int        // round-robin position per CPU
 	live  []bool       // per-CPU loop scheduled
 
+	tr *trace.Tracer
+
 	// Tx counts committed transactions (KTxMark ops).
 	Tx uint64
 	// Switches counts context switches.
@@ -78,6 +81,10 @@ func New(eng *sim.Engine, cores []*cpu.Core, cfg Config) *Kernel {
 	}
 	return k
 }
+
+// SetTracer attaches a tracer (nil disables) for idle spans and
+// context-switch instants.
+func (k *Kernel) SetTracer(tr *trace.Tracer) { k.tr = tr }
 
 // Spawn creates a process pinned to a CPU.
 func (k *Kernel) Spawn(cpuID int, s Stream, seed uint64) *Process {
@@ -134,6 +141,7 @@ func (k *Kernel) dispatch(cpuID int) {
 		}
 		k.IdleTime[cpuID] += wake - now
 		core.Breakdown.Other += wake - now
+		k.tr.Span(trace.Kernel, trace.KIdle, core.Node, int16(cpuID), 0, now, wake, 0)
 		k.live[cpuID] = true
 		k.eng.Schedule(wake, func() {
 			k.live[cpuID] = false
@@ -195,6 +203,7 @@ func (k *Kernel) wakeSleepers(cpuID int, now sim.Time) {
 // contextSwitch charges the switch cost and counts it.
 func (k *Kernel) contextSwitch(core *cpu.Core, now sim.Time) sim.Time {
 	k.Switches++
+	k.tr.Instant(trace.Kernel, trace.KCtxSwitch, core.Node, int16(core.ID), 0, now, 0)
 	return core.Exec(now, cpu.Op{Kind: cpu.KCompute, N: k.cfg.CtxSwitchInstr})
 }
 

@@ -35,6 +35,7 @@ import (
 	"piranha/internal/ics"
 	"piranha/internal/l1"
 	"piranha/internal/sim"
+	"piranha/internal/trace"
 )
 
 // Kind is the request type an L1 issues to the L2.
@@ -262,8 +263,15 @@ type L2 struct {
 	sw     *ics.Switch
 	remote Remote
 
+	tr   *trace.Tracer
+	node uint8
+
 	Stats Stats
 }
+
+// SetTracer attaches a tracer (nil disables) stamping events with the
+// chip index.
+func (l *L2) SetTracer(tr *trace.Tracer, node uint8) { l.tr, l.node = tr, node }
 
 // New assembles the L2. l1s are all the chip's L1 modules (their ID field
 // indexes the duplicate-tag bitmask), mems has one channel per bank.
@@ -321,6 +329,29 @@ func (b *Bank) block(line cache.LineAddr, t sim.Time) { b.pend[line] = t }
 // invalidating or downgrading peers, updating duplicate tags and
 // ownership — and returns the data-ready time plus the service class.
 func (l *L2) Access(now sim.Time, req *l1.Cache, kind Kind, a cache.Addr) (sim.Time, Svc) {
+	done, svc := l.access(now, req, kind, a)
+	if l.tr != nil {
+		var k trace.Kind
+		switch svc {
+		case SvcL2Hit:
+			k = trace.KL2Hit
+		case SvcL2Fwd:
+			k = trace.KL2Fwd
+		case SvcLocalMem:
+			k = trace.KL2MissLocal
+		default:
+			k = trace.KL2MissRemote
+		}
+		bank := int16(uint64(a.Line()) & uint64(l.cfg.Banks-1))
+		l.tr.Span(trace.L2, k, l.node, bank, uint64(a), now, done, uint32(svc))
+	}
+	return done, svc
+}
+
+// access is the unwrapped service path; internal replays (the inclusive
+// cascade and the upgrade-race fallback) re-enter here so one L1 request
+// records exactly one span.
+func (l *L2) access(now sim.Time, req *l1.Cache, kind Kind, a cache.Addr) (sim.Time, Svc) {
 	line := a.Line()
 	b := l.BankOf(line)
 	start := b.occupy(l, now, line)
@@ -402,7 +433,7 @@ func (l *L2) refillIfCascaded(b *Bank, now sim.Time, req *l1.Cache, kind Kind, l
 	if !l.cfg.Inclusive || info.sharers&(1<<uint(req.ID)) != 0 {
 		return false, 0, 0
 	}
-	d, s := l.Access(now, req, kind, line.Addr())
+	d, s := l.access(now, req, kind, line.Addr())
 	return true, d, s
 }
 
@@ -421,6 +452,21 @@ func (l *L2) revokeRemote(now sim.Time, line cache.LineAddr, info *lineInfo) sim
 	}
 	info.remote = RemoteNone
 	return now
+}
+
+// traceOwner records an ownership-decision instant: the duplicate-tag
+// owner of the line changed. Arg is the new owner's L1 ID, or ^0 when
+// ownership returns to the L2 itself.
+func (l *L2) traceOwner(at sim.Time, line cache.LineAddr, owner int8) {
+	if l.tr == nil {
+		return
+	}
+	arg := ^uint32(0)
+	if owner >= 0 {
+		arg = uint32(owner)
+	}
+	bank := int16(uint64(line) & uint64(l.cfg.Banks-1))
+	l.tr.Instant(trace.L2, trace.KL2Owner, l.node, bank, uint64(line.Addr()), at, arg)
 }
 
 // serveByForward handles a line held only by on-chip L1s.
@@ -449,6 +495,7 @@ func (l *L2) serveByForward(b *Bank, start sim.Time, req *l1.Cache, kind Kind, l
 		info.owner = int8(req.ID)
 		info.dirty = true
 	}
+	l.traceOwner(done, line, info.owner)
 	info.lastReq = int8(req.ID)
 	b.block(line, done)
 	return done, SvcL2Fwd
@@ -526,6 +573,14 @@ func (l *L2) serveMiss(b *Bank, start sim.Time, req *l1.Cache, kind Kind, line c
 		newInfo.remote = RemoteNone
 	}
 
+	// Home-side service of an on-chip miss: the L2 controller interprets
+	// the (ECC-resident) directory inline and drives local memory — the
+	// duty a dedicated home engine performs for remote requesters, so it
+	// is traced as a protocol-engine home transaction.
+	if svc == SvcLocalMem {
+		l.tr.Span(trace.PE, trace.KHomeTx, l.node, int16(b.idx), uint64(line.Addr()), start, done, uint32(kind))
+	}
+
 	// The whole off-chip transaction holds one of the bank's pending
 	// entries; when all entries are busy, the request queues.
 	if withEntry := b.tsrf.Acquire(start, done-start); withEntry > done {
@@ -553,7 +608,7 @@ func (l *L2) upgrade(b *Bank, start sim.Time, req *l1.Cache, line cache.LineAddr
 	if info == nil {
 		// The line was invalidated underneath the requester (e.g. by a
 		// peer's ReadEx racing ahead); treat as a fresh ReadEx.
-		return l.Access(start, req, ReadEx, line.Addr())
+		return l.access(start, req, ReadEx, line.Addr())
 	}
 	done := start + l.cfg.HitLatency
 	done = l.revokeRemote(done, line, info)
@@ -632,6 +687,7 @@ func (l *L2) l1Evicted(now sim.Time, l1id int, line cache.LineAddr, st cache.MES
 	start := b.ctl.Acquire(now, l.clock.Cycles(int64(l.cfg.BankCycles)))
 	l2victim := b.arr.Insert(line, cache.Shared)
 	info.owner = ownerL2
+	l.traceOwner(start, line, ownerL2)
 	if l2victim.State.Valid() && l2victim.Tag != line {
 		l.l2Evicted(b, start, l2victim.Tag)
 	}
@@ -671,6 +727,7 @@ func (l *L2) l2Evicted(b *Bank, now sim.Time, line cache.LineAddr) {
 				}
 			}
 			info.owner = next
+			l.traceOwner(now, line, next)
 			return
 		}
 	}

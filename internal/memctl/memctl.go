@@ -11,6 +11,7 @@ package memctl
 import (
 	"piranha/internal/cache"
 	"piranha/internal/sim"
+	"piranha/internal/trace"
 )
 
 // Config describes one memory controller + RDRAM channel.
@@ -62,6 +63,10 @@ type Controller struct {
 	channel *sim.Server
 	regs    []pageReg
 
+	tr   *trace.Tracer
+	node uint8
+	unit int16 // channel index on the chip
+
 	// Stats.
 	Reads     uint64
 	Writes    uint64
@@ -69,6 +74,12 @@ type Controller struct {
 	PageMiss  uint64
 	DirReads  uint64
 	DirWrites uint64
+}
+
+// SetTracer attaches a tracer (nil disables) stamping events with the
+// chip and channel indices.
+func (c *Controller) SetTracer(tr *trace.Tracer, node uint8, unit int16) {
+	c.tr, c.node, c.unit = tr, node, unit
 }
 
 // New returns an idle controller.
@@ -91,8 +102,8 @@ func (c *Controller) page(a cache.Addr) (int, uint64) {
 }
 
 // access performs the page-policy bookkeeping and returns the latency to
-// the critical word.
-func (c *Controller) access(now sim.Time, a cache.Addr) sim.Time {
+// the critical word plus the page-policy outcome.
+func (c *Controller) access(now sim.Time, a cache.Addr) (sim.Time, bool) {
 	ri, p := c.page(a)
 	r := &c.regs[ri]
 	hit := r.open && r.page == p && now-r.lastUsed <= c.cfg.CloseTimeout
@@ -101,10 +112,10 @@ func (c *Controller) access(now sim.Time, a cache.Addr) sim.Time {
 	r.lastUsed = now
 	if hit {
 		c.PageHits++
-		return c.cfg.OpenPageLatency
+		return c.cfg.OpenPageLatency, true
 	}
 	c.PageMiss++
-	return c.cfg.RandomLatency
+	return c.cfg.RandomLatency, false
 }
 
 // Read fetches the line containing a. It returns the time the critical
@@ -112,11 +123,18 @@ func (c *Controller) access(now sim.Time, a cache.Addr) sim.Time {
 // line has transferred (the channel stays occupied until then).
 func (c *Controller) Read(now sim.Time, a cache.Addr) (critical, full sim.Time) {
 	c.Reads++
-	lat := c.access(now, a)
+	lat, hit := c.access(now, a)
 	full = c.channel.Acquire(now+lat, c.lineOccupancy())
 	critical = full - c.cfg.RestOfLine
 	if critical < now+lat {
 		critical = now + lat
+	}
+	if c.tr != nil {
+		k := trace.KPageMiss
+		if hit {
+			k = trace.KPageHit
+		}
+		c.tr.Span(trace.Mem, k, c.node, c.unit, uint64(a), now, full, 0)
 	}
 	return critical, full
 }
@@ -125,8 +143,10 @@ func (c *Controller) Read(now sim.Time, a cache.Addr) (critical, full sim.Time) 
 // completion, but the channel occupancy is charged.
 func (c *Controller) Write(now sim.Time, a cache.Addr) (done sim.Time) {
 	c.Writes++
-	lat := c.access(now, a)
-	return c.channel.Acquire(now+lat, c.lineOccupancy())
+	lat, _ := c.access(now, a)
+	done = c.channel.Acquire(now+lat, c.lineOccupancy())
+	c.tr.Span(trace.Mem, trace.KMemWrite, c.node, c.unit, uint64(a), now, done, 0)
+	return done
 }
 
 // ReadDirectory models fetching a line's directory entry, which lives in

@@ -42,6 +42,7 @@ import (
 	"piranha/internal/directory"
 	"piranha/internal/l2"
 	"piranha/internal/sim"
+	"piranha/internal/trace"
 )
 
 // NodeID identifies a node (processing or I/O chip).
@@ -208,6 +209,7 @@ type Fabric struct {
 	dcfg  directory.Config
 	net   Network
 	nodes []*node
+	tr    *trace.Tracer
 
 	// Global protocol statistics.
 	InvalsSent  uint64
@@ -234,6 +236,32 @@ func NewFabric(cfg Config, net Network) *Fabric {
 // BindL2 attaches a chip's L2 to its node (two-phase init: the L2 needs
 // the node's Remote adapter at construction, the fabric needs the L2).
 func (f *Fabric) BindL2(id NodeID, l *l2.L2) { f.nodes[id].l2 = l }
+
+// SetTracer attaches a tracer (nil is a no-op): transaction lifetimes
+// record as pe spans and every inter-node message as a noc hop span.
+func (f *Fabric) SetTracer(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	f.tr = tr
+	f.net = tracedNet{inner: f.net, tr: tr}
+}
+
+// tracedNet wraps the fabric's network, recording each message as a
+// hop span on the sending node's timeline (Arg = destination node).
+type tracedNet struct {
+	inner Network
+	tr    *trace.Tracer
+}
+
+// Send implements Network.
+func (t tracedNet) Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.Time {
+	done := t.inner.Send(now, from, to, bytes, prio)
+	if from != to {
+		t.tr.Span(trace.NOC, trace.KHop, uint8(from), int16(prio), uint64(bytes), now, done, uint32(to))
+	}
+	return done
+}
 
 // Proto returns the l2.Remote adapter for the given node.
 func (f *Fabric) Proto(id NodeID) *NodeProto { return &NodeProto{f: f, id: id} }

@@ -5,6 +5,13 @@ import (
 	"piranha/internal/directory"
 	"piranha/internal/l2"
 	"piranha/internal/sim"
+	"piranha/internal/trace"
+)
+
+// Engine units for trace events: home engine 0, remote engine 1.
+const (
+	unitHE = int16(0)
+	unitRE = int16(1)
 )
 
 // NodeProto adapts one node's protocol engines to the l2.Remote interface.
@@ -57,6 +64,7 @@ func (p *NodeProto) Fetch(now sim.Time, kind l2.Kind, line cache.LineAddr) (sim.
 	arrive := r.remote.send(f.net, start, r.id, h.id, ShortPacket, prioLow)
 	done, svc, excl := f.atHome(arrive, h, r.id, kind, line, wantEx)
 	release(done)
+	f.tr.Span(trace.PE, trace.KRemoteTx, uint8(r.id), unitRE, uint64(line.Addr()), now, done, uint32(kind))
 	return done, svc, excl
 }
 
@@ -97,6 +105,7 @@ func (f *Fabric) homeLocalOwnerFetch(now sim.Time, h *node, kind l2.Kind, line c
 		f.DirtyShares++
 	}
 	release(reply)
+	f.tr.Span(trace.PE, trace.KHomeTx, uint8(h.id), unitHE, uint64(line.Addr()), now, reply, uint32(kind))
 	return reply, l2.SvcRemoteDirty, wantEx
 }
 
@@ -159,6 +168,7 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 		// Reply forwarding: owner replies straight to the requester.
 		reply := o.remote.send(f.net, supplied, o.id, req, LongPacket, prioHigh)
 		f.ThreeHop++
+		f.tr.Span(trace.PE, trace.KHomeTx, uint8(h.id), unitHE, uint64(line.Addr()), arrive, homeDone, uint32(kind))
 		return reply, l2.SvcRemoteDirty, wantEx
 	}
 
@@ -207,6 +217,7 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 	reply := h.home.send(f.net, dataReady, h.id, req, size, prioHigh)
 	release(dataReady)
 	svc := l2.SvcRemote
+	f.tr.Span(trace.PE, trace.KHomeTx, uint8(h.id), unitHE, uint64(line.Addr()), arrive, reply, uint32(kind))
 	return reply, svc, excl
 }
 
@@ -343,6 +354,7 @@ func (p *NodeProto) Writeback(now sim.Time, line cache.LineAddr) {
 	// until then.
 	ackBack := h.home.send(f.net, done, h.id, r.id, ShortPacket, prioHigh)
 	release(ackBack)
+	f.tr.Span(trace.PE, trace.KRemoteTx, uint8(r.id), unitRE, uint64(line.Addr()), now, ackBack, 0)
 
 	e := f.dirEntry(h, line)
 	if e.State == directory.Exclusive && e.Owner == r.id {

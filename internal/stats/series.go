@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"piranha/internal/sim"
+)
+
+// Series is a per-interval time-series sampler: the simulation's busy
+// time, stall time, and L1-miss traffic bucketed into fixed windows of
+// simulated time. It is the interval-metrics half of the tracing
+// subsystem — where a trace answers "what was cpu 3 doing at 41 µs",
+// the series answers "how did machine-wide busyness evolve".
+//
+// Like *trace.Tracer, the nil *Series is the disabled sampler: every
+// recording method is a nil-safe no-op, so instrumented components hold
+// a possibly-nil pointer and call it unconditionally.
+type Series struct {
+	// Interval is the bin width in simulated time.
+	Interval sim.Time `json:"interval_ps"`
+	// Origin is the simulated time of bin 0's left edge; the measurement
+	// phase sets it at the warm/measure boundary so bins cover only the
+	// measured window.
+	Origin sim.Time `json:"origin_ps"`
+	// Bins holds one entry per elapsed interval, index i covering
+	// simulated time [Origin+i*Interval, Origin+(i+1)*Interval).
+	Bins []Bin `json:"bins"`
+}
+
+// Bin aggregates one interval's activity.
+type Bin struct {
+	Busy     sim.Time `json:"busy_ps"`  // cpu execution (incl. L1 hits)
+	Stall    sim.Time `json:"stall_ps"` // cpu stalled on the memory system
+	Accesses uint64   `json:"accesses"` // L1 probes
+	Misses   uint64   `json:"misses"`   // L1 misses
+}
+
+// NewSeries returns a sampler with the given bin width (which must be
+// positive).
+func NewSeries(interval sim.Time) *Series {
+	if interval <= 0 {
+		panic("stats: non-positive series interval")
+	}
+	return &Series{Interval: interval}
+}
+
+// ensure grows Bins to include index i and returns it.
+func (s *Series) ensure(i int) *Bin {
+	for len(s.Bins) <= i {
+		s.Bins = append(s.Bins, Bin{})
+	}
+	return &s.Bins[i]
+}
+
+// addSpan distributes [start, end) across the bins it overlaps. A span
+// straddling a bin edge is split proportionally, so per-bin totals are
+// exact regardless of span length.
+func (s *Series) addSpan(start, end sim.Time, busy bool) {
+	if s == nil || end <= start {
+		return
+	}
+	if start < s.Origin {
+		start = s.Origin
+		if end <= start {
+			return
+		}
+	}
+	start -= s.Origin
+	end -= s.Origin
+	for b := start / s.Interval; start < end; b++ {
+		edge := (b + 1) * s.Interval
+		if edge > end {
+			edge = end
+		}
+		bin := s.ensure(int(b))
+		if busy {
+			bin.Busy += edge - start
+		} else {
+			bin.Stall += edge - start
+		}
+		start = edge
+	}
+}
+
+// AddBusy records cpu execution time over [start, end).
+func (s *Series) AddBusy(start, end sim.Time) { s.addSpan(start, end, true) }
+
+// AddStall records cpu stall time over [start, end).
+func (s *Series) AddStall(start, end sim.Time) { s.addSpan(start, end, false) }
+
+// AddAccess records one L1 probe at the given instant (an instant on a
+// bin edge belongs to the later bin).
+func (s *Series) AddAccess(at sim.Time, miss bool) {
+	if s == nil {
+		return
+	}
+	if at < s.Origin {
+		at = s.Origin
+	}
+	bin := s.ensure(int((at - s.Origin) / s.Interval))
+	bin.Accesses++
+	if miss {
+		bin.Misses++
+	}
+}
+
+// Reset discards all bins in place (keeping the backing array) and
+// restarts bin 0 at the given origin time.
+func (s *Series) Reset(origin sim.Time) {
+	if s == nil {
+		return
+	}
+	s.Bins = s.Bins[:0]
+	s.Origin = origin
+}
+
+// Len returns the number of elapsed intervals.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Bins)
+}
+
+// sparkRamp is the pure-ASCII intensity ramp used for sparklines.
+const sparkRamp = " .:-=+*#@"
+
+// Sparkline renders values as one character each, scaled to the peak.
+func Sparkline(values []float64) string {
+	var peak float64
+	for _, v := range values {
+		if v > peak {
+			peak = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range values {
+		i := 0
+		if peak > 0 && v > 0 {
+			i = 1 + int(v/peak*float64(len(sparkRamp)-2))
+			if i > len(sparkRamp)-1 {
+				i = len(sparkRamp) - 1
+			}
+		}
+		b.WriteByte(sparkRamp[i])
+	}
+	return b.String()
+}
+
+// BusyFracs returns per-bin busy/(busy+stall) fractions.
+func (s *Series) BusyFracs() []float64 {
+	out := make([]float64, s.Len())
+	for i, b := range s.Bins {
+		if t := b.Busy + b.Stall; t > 0 {
+			out[i] = float64(b.Busy) / float64(t)
+		}
+	}
+	return out
+}
+
+// MissRates returns per-bin miss/access ratios.
+func (s *Series) MissRates() []float64 {
+	out := make([]float64, s.Len())
+	for i, b := range s.Bins {
+		if b.Accesses > 0 {
+			out[i] = float64(b.Misses) / float64(b.Accesses)
+		}
+	}
+	return out
+}
+
+// busyValues returns raw per-bin busy time for load sparklines.
+func (s *Series) busyValues() []float64 {
+	out := make([]float64, s.Len())
+	for i, b := range s.Bins {
+		out[i] = float64(b.Busy)
+	}
+	return out
+}
+
+// String renders the series as labeled ASCII sparklines, one char per
+// interval.
+func (s *Series) String() string {
+	if s.Len() == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "interval %gus x %d bins\n", float64(s.Interval)/float64(sim.Microsecond), s.Len())
+	fmt.Fprintf(&b, "  busy      |%s|\n", Sparkline(s.busyValues()))
+	fmt.Fprintf(&b, "  busy frac |%s|\n", Sparkline(s.BusyFracs()))
+	fmt.Fprintf(&b, "  miss rate |%s|\n", Sparkline(s.MissRates()))
+	return b.String()
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"testing"
+
+	"piranha/internal/sim"
+)
+
+func TestNilSeriesIsNoOp(t *testing.T) {
+	var s *Series
+	s.AddBusy(0, 100)
+	s.AddStall(0, 100)
+	s.AddAccess(50, true)
+	s.Reset(0)
+	if s.Len() != 0 {
+		t.Fatalf("nil series Len = %d", s.Len())
+	}
+}
+
+func TestSeriesSpanSplitAcrossBins(t *testing.T) {
+	s := NewSeries(100)
+	// Spans 3.5 bins: [50, 400) -> 50 in bin 0, 100 in bins 1-2, 100 in bin 3.
+	s.AddBusy(50, 450)
+	if s.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", s.Len())
+	}
+	want := []sim.Time{50, 100, 100, 100, 50}
+	for i, w := range want {
+		if s.Bins[i].Busy != w {
+			t.Fatalf("bin %d busy = %d, want %d", i, s.Bins[i].Busy, w)
+		}
+	}
+}
+
+func TestSeriesEdgeBins(t *testing.T) {
+	s := NewSeries(100)
+	// A span ending exactly on a bin edge must not create the next bin.
+	s.AddStall(0, 100)
+	if s.Len() != 1 {
+		t.Fatalf("edge-aligned span created %d bins, want 1", s.Len())
+	}
+	if s.Bins[0].Stall != 100 {
+		t.Fatalf("bin 0 stall = %d, want 100", s.Bins[0].Stall)
+	}
+	// A span starting exactly on an edge lands wholly in that bin.
+	s.AddStall(100, 150)
+	if s.Len() != 2 || s.Bins[1].Stall != 50 || s.Bins[0].Stall != 100 {
+		t.Fatalf("bins after edge-start span: %+v", s.Bins)
+	}
+	// An instant on an edge belongs to the later bin.
+	s.AddAccess(200, true)
+	if s.Len() != 3 || s.Bins[2].Accesses != 1 || s.Bins[2].Misses != 1 {
+		t.Fatalf("bins after edge instant: %+v", s.Bins)
+	}
+	// Zero-length spans record nothing.
+	s.AddBusy(250, 250)
+	if s.Bins[2].Busy != 0 {
+		t.Fatalf("zero-length span recorded busy time")
+	}
+}
+
+func TestSeriesReset(t *testing.T) {
+	s := NewSeries(10)
+	s.AddBusy(0, 95)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	before := cap(s.Bins)
+	s.Reset(50)
+	if s.Len() != 0 {
+		t.Fatalf("Len after reset = %d", s.Len())
+	}
+	if cap(s.Bins) != before {
+		t.Fatalf("Reset dropped the backing array: cap %d -> %d", before, cap(s.Bins))
+	}
+	// Post-reset spans bucket relative to the new origin; the pre-origin
+	// part of a straddling span is clamped off.
+	s.AddBusy(45, 65)
+	if s.Len() != 2 || s.Bins[0].Busy != 10 || s.Bins[1].Busy != 5 {
+		t.Fatalf("series after origin reset: %+v", s.Bins)
+	}
+	s.AddAccess(55, true)
+	if s.Bins[0].Accesses != 1 {
+		t.Fatalf("access not bucketed relative to origin: %+v", s.Bins)
+	}
+}
+
+func TestSetReset(t *testing.T) {
+	s := NewSet()
+	s.Get("a").Add(3)
+	s.Get("b").Inc()
+	a := s.Get("a")
+	s.Reset()
+	if v := s.Value("a"); v != 0 {
+		t.Fatalf("a = %d after reset", v)
+	}
+	if s.Get("a") != a {
+		t.Fatal("Reset reallocated counters")
+	}
+	if got := s.Names(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Names after reset: %v", got)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	got := Sparkline([]float64{0, 0.5, 1})
+	if len(got) != 3 {
+		t.Fatalf("sparkline length = %d", len(got))
+	}
+	if got[0] != ' ' {
+		t.Fatalf("zero value rendered %q, want space", got[0])
+	}
+	if got[2] != '@' {
+		t.Fatalf("peak rendered %q, want '@'", got[2])
+	}
+	// All-zero input must not divide by zero.
+	if z := Sparkline([]float64{0, 0}); z != "  " {
+		t.Fatalf("all-zero sparkline = %q", z)
+	}
+}

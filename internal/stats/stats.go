@@ -47,6 +47,15 @@ func (s *Set) Get(name string) *Counter {
 	return c
 }
 
+// Reset zeroes every counter in place, keeping the map and order slice
+// so a set can be reused across warm/measure phases without the
+// unbounded reallocation Get would otherwise cause per run.
+func (s *Set) Reset() {
+	for _, c := range s.counters {
+		c.Value = 0
+	}
+}
+
 // Value returns the current value of a counter (zero if absent).
 func (s *Set) Value(name string) uint64 {
 	if c, ok := s.counters[name]; ok {

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Chrome trace-event export (the "JSON Array Format" of the Trace Event
+// spec), loadable in Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// Mapping: one simulation run is one process (pid); each traced hardware
+// unit is a thread (tid) named "chip<n> <component>[<unit>]". Spans are
+// complete events (ph "X") and instants ph "i". Timestamps are simulated
+// microseconds with picosecond precision — wall-clock time never appears,
+// so the bytes depend only on the recorded events and label, making the
+// export byte-identical across serial and parallel runs.
+
+// usec formats a sim.Time (picoseconds) as fractional microseconds.
+func usec(t int64) string {
+	us, ps := t/1_000_000, t%1_000_000
+	if ps == 0 {
+		return fmt.Sprintf("%d", us)
+	}
+	return fmt.Sprintf("%d.%06d", us, ps)
+}
+
+// tid flattens (node, unit) into a Chrome thread id.
+func tid(e Event) int { return int(e.Node)*1000 + int(e.Comp)*100 + int(e.Unit) }
+
+// WriteChrome exports one run's events as a complete Chrome trace JSON
+// object with the given process id and label.
+func (t *Tracer) WriteChrome(w io.Writer, pid int, label string) error {
+	return WriteChromeMulti(w, []*Tracer{t}, []string{label}, pid)
+}
+
+// WriteChromeMulti exports several runs' events into one Chrome trace
+// JSON object; run i becomes process firstPid+i labeled labels[i]. The
+// output is deterministic: it depends only on the tracers' contents and
+// the labels, never on host time or goroutine interleaving.
+func WriteChromeMulti(w io.Writer, traces []*Tracer, labels []string, firstPid int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(s)
+	}
+	var scratch []Event
+	for i, tr := range traces {
+		pid := firstPid + i
+		label := fmt.Sprintf("run%d", pid)
+		if i < len(labels) && labels[i] != "" {
+			label = labels[i]
+		}
+		emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%q}}`, pid, label))
+
+		scratch = tr.Events(scratch[:0])
+		// Thread-name metadata in first-seen order (deterministic: the
+		// event stream order is the engine's execution order).
+		named := map[int]bool{}
+		for _, e := range scratch {
+			id := tid(e)
+			if named[id] {
+				continue
+			}
+			named[id] = true
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"chip%d %s[%d]"}}`,
+				pid, id, e.Node, e.Comp, e.Unit))
+		}
+		for _, e := range scratch {
+			name := spanNames[e.Comp][e.Kind]
+			if e.End > e.Start {
+				emit(fmt.Sprintf(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"addr":"0x%x","arg":%d}}`,
+					name, e.Comp, pid, tid(e), usec(int64(e.Start)), usec(int64(e.End-e.Start)), e.Addr, e.Arg))
+			} else {
+				emit(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s,"args":{"addr":"0x%x","arg":%d}}`,
+					name, e.Comp, pid, tid(e), usec(int64(e.Start)), e.Addr, e.Arg))
+			}
+		}
+		if d := tr.Dropped(); d > 0 {
+			emit(fmt.Sprintf(`{"ph":"M","name":"trace_dropped_events","pid":%d,"tid":0,"args":{"dropped":%d}}`, pid, d))
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

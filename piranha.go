@@ -16,13 +16,27 @@
 //
 // Quick start:
 //
-//	res := piranha.RunOLTP(piranha.P8(), 100, 200)
+//	res := piranha.Run(piranha.P8(), piranha.OLTP())
 //	fmt.Println(res)
+//
+// Runs are configured with functional options:
+//
+//	var buf bytes.Buffer
+//	res := piranha.Run(piranha.P8(), piranha.OLTP(),
+//		piranha.WithScale(piranha.PaperScale),
+//		piranha.WithSeed(7),
+//		piranha.WithIntervals(2*time.Microsecond),  // Result.Series
+//		piranha.WithTrace(&buf),                    // Chrome/Perfetto JSON
+//	)
 package piranha
 
 import (
+	"io"
+	"time"
+
 	"piranha/internal/core"
 	"piranha/internal/sim"
+	"piranha/internal/trace"
 	"piranha/internal/workload"
 )
 
@@ -34,6 +48,23 @@ type Experiment = core.Experiment
 
 // SystemConfig describes a machine (chips x chip configuration).
 type SystemConfig = core.SystemConfig
+
+// Workload names a workload and its configuration knobs.
+type Workload = core.WorkloadSpec
+
+// Workload constructors for the paper's four workload families.
+
+// OLTP is the TPC-B-style transaction mix (§3.1).
+func OLTP() Workload { return Workload{Kind: core.OLTP} }
+
+// DSS is the TPC-D Query-6-style scan (§3.1).
+func DSS() Workload { return Workload{Kind: core.DSS} }
+
+// TPCC is the heavier TPC-C-style mix (§4).
+func TPCC() Workload { return Workload{Kind: core.TPCC} }
+
+// Web is the §6 AltaVista-style search workload.
+func Web() Workload { return Workload{Kind: core.WEB} }
 
 // Table-1 configurations (single-chip unless stated).
 
@@ -83,54 +114,114 @@ func MultiChipOOO(n int) SystemConfig {
 	return SystemConfig{Chips: n, Chip: core.OOOChip()}
 }
 
+// Option configures a Run.
+type Option func(*runConfig)
+
+// runConfig collects an experiment plus the run-scoped concerns that do
+// not belong in the experiment descriptor (where the trace goes).
+type runConfig struct {
+	exp      core.Experiment
+	traceW   io.Writer
+	traceCap int
+}
+
+// WithName labels the run's Result (default: the workload kind).
+func WithName(name string) Option {
+	return func(rc *runConfig) { rc.exp.Name = name }
+}
+
+// WithSeed sets the workload RNG seed (0 selects the default).
+func WithSeed(seed uint64) Option {
+	return func(rc *runConfig) { rc.exp.Seed = seed }
+}
+
+// WithScale sets the warm-up and measured transaction counts.
+func WithScale(s Scale) Option {
+	return func(rc *runConfig) { rc.exp.WarmTx, rc.exp.MeasureTx = s.Warm, s.Measure }
+}
+
+// WithIntervals samples machine-wide busy/stall/miss activity per window
+// of simulated time d into Result.Series.
+func WithIntervals(d time.Duration) Option {
+	return func(rc *runConfig) { rc.exp.Intervals = sim.Time(d.Nanoseconds()) * sim.Nanosecond }
+}
+
+// WithTrace records component events during the measured phase and
+// writes them to w as Chrome trace-event JSON (loadable in Perfetto)
+// when the run completes. Timestamps are simulated time only, so the
+// bytes are identical no matter where or how concurrently the run
+// executed.
+func WithTrace(w io.Writer) Option {
+	return func(rc *runConfig) { rc.traceW = w }
+}
+
+// WithTraceCapacity bounds the trace ring buffer to the most recent n
+// events (0 selects the default; see trace.DefaultCapacity).
+func WithTraceCapacity(n int) Option {
+	return func(rc *runConfig) { rc.traceCap = n }
+}
+
+// Run simulates one workload on one machine configuration. Options
+// configure scale, seed, naming, interval metrics and tracing; the
+// zero-option call runs the library defaults (200 measured transactions,
+// no warm-up, tracing off).
+func Run(sys SystemConfig, w Workload, opts ...Option) Result {
+	rc := runConfig{exp: core.Experiment{Sys: sys, Work: w}}
+	for _, o := range opts {
+		o(&rc)
+	}
+	if rc.exp.Name == "" {
+		if w.Kind == "" {
+			rc.exp.Name = string(core.OLTP)
+		} else {
+			rc.exp.Name = string(w.Kind)
+		}
+	}
+	if rc.traceW != nil {
+		rc.exp.Trace = trace.New(rc.traceCap)
+	}
+	r := core.Run(rc.exp)
+	if rc.traceW != nil {
+		if err := rc.exp.Trace.WriteChrome(rc.traceW, 0, rc.exp.Name); err != nil {
+			panic("piranha: trace export: " + err.Error())
+		}
+	}
+	return r
+}
+
+// RunExperiment executes a fully-specified experiment descriptor (the
+// escape hatch under the option API; RunBatch consumes the same type).
+func RunExperiment(e Experiment) Result { return core.Run(e) }
+
 // RunOLTP measures the TPC-B-style workload: warm transactions of cache
 // warmup, then measure transactions of measurement.
+//
+// Deprecated: use Run(sys, OLTP(), WithScale(Scale{warm, measure})).
 func RunOLTP(sys SystemConfig, warm, measure uint64) Result {
-	return core.Run(core.Experiment{
-		Name:      "oltp",
-		Sys:       sys,
-		Work:      core.WorkloadSpec{Kind: core.OLTP},
-		WarmTx:    warm,
-		MeasureTx: measure,
-	})
+	return Run(sys, OLTP(), WithScale(Scale{Warm: warm, Measure: measure}))
 }
 
 // RunDSS measures the TPC-D Query-6-style scan.
+//
+// Deprecated: use Run(sys, DSS(), WithScale(Scale{warm, measure})).
 func RunDSS(sys SystemConfig, warm, measure uint64) Result {
-	return core.Run(core.Experiment{
-		Name:      "dss",
-		Sys:       sys,
-		Work:      core.WorkloadSpec{Kind: core.DSS},
-		WarmTx:    warm,
-		MeasureTx: measure,
-	})
+	return Run(sys, DSS(), WithScale(Scale{Warm: warm, Measure: measure}))
 }
 
 // RunWeb measures the §6 AltaVista-style search workload, which behaves
 // like DSS: compute-bound index scans with abundant thread parallelism.
+//
+// Deprecated: use Run(sys, Web(), WithScale(Scale{warm, measure})).
 func RunWeb(sys SystemConfig, warm, measure uint64) Result {
-	return core.Run(core.Experiment{
-		Name:      "web",
-		Sys:       sys,
-		Work:      core.WorkloadSpec{Kind: core.WEB},
-		WarmTx:    warm,
-		MeasureTx: measure,
-	})
+	return Run(sys, Web(), WithScale(Scale{Warm: warm, Measure: measure}))
 }
 
 // RunTPCC measures the heavier TPC-C-style mix.
+//
+// Deprecated: use Run(sys, TPCC(), WithScale(Scale{warm, measure})).
 func RunTPCC(sys SystemConfig, warm, measure uint64) Result {
-	return core.Run(core.Experiment{
-		Name:      "tpcc",
-		Sys:       sys,
-		Work:      core.WorkloadSpec{Kind: core.TPCC},
-		WarmTx:    warm,
-		MeasureTx: measure,
-	})
+	return Run(sys, TPCC(), WithScale(Scale{Warm: warm, Measure: measure}))
 }
-
-// Run executes a fully-specified experiment.
-func Run(e Experiment) Result { return core.Run(e) }
 
 // RunBatch executes independent experiments concurrently on a bounded
 // worker pool (see SetParallelism) and returns results in input order.
