@@ -109,6 +109,7 @@ func main() {
 		done := make(chan int)
 		for i, a := range selected {
 			i, a := i, a
+			//piranha:allow determinism reports land in index-ordered slots and print serially after the barrier
 			go func() {
 				sem <- struct{}{}
 				reports[i] = a.gen()

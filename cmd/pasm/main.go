@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"piranha/internal/sortutil"
 	"piranha/internal/useq"
 )
 
@@ -32,10 +33,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("%s: %d words (%d-bit), store %d/%d\n\n", name, len(p.Words), useq.WordBits, len(p.Words), useq.StoreSize)
-	// Invert the label table for annotation.
+	// Invert the label table for annotation, walking labels
+	// alphabetically so co-located labels print in a fixed order.
 	byAddr := map[uint16][]string{}
-	for l, a := range p.Labels {
-		byAddr[a] = append(byAddr[a], l)
+	for _, l := range sortutil.Keys(p.Labels) {
+		byAddr[p.Labels[l]] = append(byAddr[p.Labels[l]], l)
 	}
 	for i, w := range p.Words {
 		label := ""

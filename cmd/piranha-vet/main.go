@@ -1,0 +1,81 @@
+// Command piranha-vet runs the repository's static-analysis suite
+// (internal/lint): determinism, hot-path allocation, protocol-table
+// completeness/NAK-freedom, and nil-receiver guards. See DESIGN.md §8
+// for the checked invariants and the annotation grammar.
+//
+// Usage:
+//
+//	piranha-vet ./...                  # whole module (the CI gate)
+//	piranha-vet ./internal/... figures.go piranha.go
+//
+// Patterns select which files' findings are reported (the whole module
+// is always loaded and type-checked): `./...` matches everything,
+// `./dir/...` a subtree, `./dir` one directory, and a `*.go` path one
+// file. Exit status is 0 when clean, 1 when findings remain, 2 on a
+// load or usage error.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path"
+	"strings"
+
+	"piranha/internal/lint"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "piranha-vet:", err)
+		os.Exit(2)
+	}
+	mod, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "piranha-vet:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(mod, lint.DefaultAnalyzers())
+	n := 0
+	for _, d := range diags {
+		if matchAny(patterns, d.File) {
+			fmt.Println(d)
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "piranha-vet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// matchAny reports whether the module-relative file matches one of the
+// command-line patterns.
+func matchAny(patterns []string, file string) bool {
+	for _, p := range patterns {
+		if matchPattern(p, file) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(pat, file string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	switch {
+	case pat == "..." || pat == ".":
+		return true
+	case strings.HasSuffix(pat, "/..."):
+		return strings.HasPrefix(file, strings.TrimSuffix(pat, "...")) // keeps the "/"
+	case strings.HasSuffix(pat, ".go"):
+		return file == pat
+	default:
+		return path.Dir(file) == strings.TrimSuffix(pat, "/")
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -19,6 +18,7 @@ import (
 	"piranha/internal/pe"
 	"piranha/internal/runner"
 	"piranha/internal/sim"
+	"piranha/internal/sortutil"
 	"piranha/internal/stats"
 	"piranha/internal/trace"
 	"piranha/internal/useq"
@@ -41,7 +41,7 @@ func (f FigureReport) String() string {
 	fmt.Fprintf(&b, "==== %s: %s ====\n%s", f.ID, f.Title, f.Text)
 	if len(f.Metrics) > 0 {
 		b.WriteString("metrics:\n")
-		for _, k := range sortedKeys(f.Metrics) {
+		for _, k := range sortutil.Keys(f.Metrics) {
 			fmt.Fprintf(&b, "  %-32s %8.3f\n", k, f.Metrics[k])
 		}
 	}
@@ -53,15 +53,6 @@ func (f FigureReport) String() string {
 		}
 	}
 	return b.String()
-}
-
-func sortedKeys(m map[string]float64) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // parallelism is how many experiments the figure harness runs

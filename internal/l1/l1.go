@@ -95,6 +95,8 @@ func (c *Cache) Config() Config { return c.cfg }
 // Probe performs a lookup for a load/fetch/store and returns the line's
 // state (Invalid on miss) plus whether the TLB hit (a TLB miss costs a
 // PAL-handled refill charged by the chip).
+//
+//piranha:hotpath
 func (c *Cache) Probe(a cache.Addr) (cache.MESI, bool) {
 	tlbHit := c.TLB.Access(a)
 	if ln := c.arr.Probe(a.Line()); ln != nil {
@@ -106,6 +108,8 @@ func (c *Cache) Probe(a cache.Addr) (cache.MESI, bool) {
 
 // State returns the current MESI state of the line without touching
 // recency or counters.
+//
+//piranha:hotpath
 func (c *Cache) State(l cache.LineAddr) cache.MESI {
 	if ln := c.arr.Lookup(l); ln != nil {
 		return ln.State

@@ -6,6 +6,7 @@ import (
 	"piranha/internal/cache"
 	"piranha/internal/l1"
 	"piranha/internal/sim"
+	"piranha/internal/sortutil"
 	"piranha/internal/stats"
 )
 
@@ -72,12 +73,14 @@ func (l *L2) FlushDirty(now sim.Time, line cache.LineAddr) (bool, sim.Time) {
 }
 
 // DirtyLines returns the on-chip dirty lines intersecting [lo, hi)
-// (persistent-region barriers flush these).
+// (persistent-region barriers flush these). Banks are walked in index
+// order and each bank's lines in address order, so the slice — and the
+// flush traffic a barrier derives from it — is deterministic.
 func (l *L2) DirtyLines(lo, hi cache.Addr) []cache.LineAddr {
 	var out []cache.LineAddr
 	for _, b := range l.banks {
-		for line, info := range b.info {
-			if info.dirty && line.Addr() >= lo && line.Addr() < hi {
+		for _, line := range sortutil.Keys(b.info) {
+			if info := b.info[line]; info.dirty && line.Addr() >= lo && line.Addr() < hi {
 				out = append(out, line)
 			}
 		}
@@ -209,8 +212,11 @@ func (l *L2) CheckInvariants() error {
 			}
 		}
 	}
-	// Every actual line must be tracked with the exact mask.
-	for line, r := range actual {
+	// Every actual line must be tracked with the exact mask. Lines are
+	// visited in address order so that, when several invariants are broken
+	// at once, the same violation is reported on every run.
+	for _, line := range sortutil.Keys(actual) {
+		r := actual[line]
 		info := l.BankOf(line).info[line]
 		if info == nil {
 			return fmt.Errorf("line %#x held by L1s %#x but untracked", line, r.mask)
@@ -236,7 +242,8 @@ func (l *L2) CheckInvariants() error {
 	}
 	// Every tracked line must be resident and correctly owned.
 	for _, b := range l.banks {
-		for line, info := range b.info {
+		for _, line := range sortutil.Keys(b.info) {
+			info := b.info[line]
 			inL2 := b.arr.Lookup(line) != nil
 			r := actual[line]
 			var mask uint32

@@ -306,12 +306,16 @@ func New(cfg Config, clock sim.Clock, l1s []*l1.Cache, mems []Memory, sw *ics.Sw
 }
 
 // BankOf returns the bank a line interleaves to.
+//
+//piranha:hotpath
 func (l *L2) BankOf(line cache.LineAddr) *Bank {
 	return l.banks[int(uint64(line)&uint64(l.cfg.Banks-1))]
 }
 
 // occupy charges the bank controller occupancy and returns the start time
 // after any pending-transaction blocking on the same line.
+//
+//piranha:hotpath
 func (b *Bank) occupy(l *L2, now sim.Time, line cache.LineAddr) sim.Time {
 	if t, ok := b.pend[line]; ok && t > now {
 		b.PendWait += t - now
@@ -351,6 +355,8 @@ func (l *L2) Access(now sim.Time, req *l1.Cache, kind Kind, a cache.Addr) (sim.T
 // access is the unwrapped service path; internal replays (the inclusive
 // cascade and the upgrade-race fallback) re-enter here so one L1 request
 // records exactly one span.
+//
+//piranha:hotpath
 func (l *L2) access(now sim.Time, req *l1.Cache, kind Kind, a cache.Addr) (sim.Time, Svc) {
 	line := a.Line()
 	b := l.BankOf(line)

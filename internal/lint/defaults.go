@@ -1,0 +1,14 @@
+package lint
+
+// DefaultAnalyzers is the suite piranha-vet runs over this repository:
+// all four analyzers, with goroutine fan-out confined to the experiment
+// runner and the protocol table checked against the directory-state ×
+// request-kind cross-product.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		Determinism("internal/runner"),
+		Hotpath(),
+		ProtocolTable(PiranhaProto),
+		NilGuard(),
+	}
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotpath returns the analyzer enforcing allocation-free bodies for
+// functions annotated //piranha:hotpath (the event-engine schedule/pop
+// path, trace record methods, and the L1/L2 lookup paths). Flagged
+// constructs, each of which introduces a heap allocation or hidden
+// call the steady-state simulation loop must not pay:
+//
+//   - function literals (closure environments escape);
+//   - defer statements;
+//   - any call into package fmt, and string concatenation;
+//   - composite literals of map or slice type (struct and array
+//     literals are value assignments and stay);
+//   - conversions of concrete values to interface types, explicit or
+//     implicit (call arguments, assignments, declarations, returns),
+//     detected via go/types. Arguments to builtins (panic, append) are
+//     exempt: a panic is already off the hot path.
+func Hotpath() Analyzer {
+	return Analyzer{
+		Name: "hotpath",
+		Run: func(m *Module, p *Package) []Diagnostic {
+			var out []Diagnostic
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil || !hasDirective(fd.Doc, dirHotpath) {
+						continue
+					}
+					h := &hotPass{m: m, p: p, fd: fd}
+					h.check()
+					out = append(out, h.out...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+type hotPass struct {
+	m   *Module
+	p   *Package
+	fd  *ast.FuncDecl
+	out []Diagnostic
+}
+
+func (h *hotPass) diag(pos token.Pos, format string, args ...any) {
+	h.out = append(h.out, h.m.diag("hotpath", pos, format, args...))
+}
+
+func (h *hotPass) check() {
+	name := h.fd.Name.Name
+	ast.Inspect(h.fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			h.diag(n.Pos(), "closure literal in hot-path function %s allocates its environment", name)
+			return false // its body is off the annotated path
+		case *ast.DeferStmt:
+			h.diag(n.Pos(), "defer in hot-path function %s", name)
+		case *ast.CallExpr:
+			h.checkCall(n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && h.isStringExpr(n) {
+				h.diag(n.Pos(), "string concatenation in hot-path function %s allocates", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && h.isStringExpr(n.Lhs[0]) {
+				h.diag(n.Pos(), "string concatenation in hot-path function %s allocates", name)
+			}
+			h.checkAssign(n)
+		case *ast.ValueSpec:
+			h.checkValueSpec(n)
+		case *ast.ReturnStmt:
+			h.checkReturn(n)
+		case *ast.CompositeLit:
+			switch h.typeOf(n).Underlying().(type) {
+			case *types.Map:
+				h.diag(n.Pos(), "map literal in hot-path function %s allocates", name)
+			case *types.Slice:
+				h.diag(n.Pos(), "slice literal in hot-path function %s allocates", name)
+			}
+		}
+		return true
+	})
+}
+
+func (h *hotPass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := h.p.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	return types.Typ[types.Invalid]
+}
+
+// isStringExpr reports whether e has string type and is not a
+// compile-time constant (constant folding costs nothing at run time).
+func (h *hotPass) isStringExpr(e ast.Expr) bool {
+	tv, ok := h.p.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// checkCall flags fmt calls, explicit interface conversions, and
+// implicit interface conversions at argument positions.
+func (h *hotPass) checkCall(call *ast.CallExpr) {
+	// fmt anywhere on the hot path (Sprintf, Errorf, even Fprint).
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := h.p.Info.Uses[sel.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			h.diag(call.Pos(), "fmt.%s in hot-path function %s allocates", fn.Name(), h.fd.Name.Name)
+			return
+		}
+	}
+	tv, ok := h.p.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x).
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			h.checkConv(tv.Type, call.Args[0], call.Pos())
+		}
+		return
+	}
+	if tv.IsBuiltin() {
+		return // panic/append/len arguments are exempt
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				pt = params.At(params.Len() - 1).Type() // s... passes the slice itself
+			} else if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = slice.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			h.checkConv(pt, arg, arg.Pos())
+		}
+	}
+}
+
+// checkAssign flags implicit interface conversions in assignments.
+func (h *hotPass) checkAssign(n *ast.AssignStmt) {
+	if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+		return // := takes the RHS type; tuple assigns can't convert
+	}
+	for i := range n.Lhs {
+		h.checkConv(h.typeOf(n.Lhs[i]), n.Rhs[i], n.Rhs[i].Pos())
+	}
+}
+
+// checkValueSpec flags implicit interface conversions in declarations
+// with an explicit interface type (var x io.Writer = concreteValue).
+func (h *hotPass) checkValueSpec(n *ast.ValueSpec) {
+	if n.Type == nil {
+		return
+	}
+	dst := h.typeOf(n.Type)
+	for _, v := range n.Values {
+		h.checkConv(dst, v, v.Pos())
+	}
+}
+
+// checkReturn flags implicit interface conversions into the enclosing
+// function's interface-typed results.
+func (h *hotPass) checkReturn(n *ast.ReturnStmt) {
+	fn, ok := h.p.Info.Defs[h.fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if len(n.Results) != results.Len() {
+		return // bare return or tuple-forwarding call
+	}
+	for i, r := range n.Results {
+		h.checkConv(results.At(i).Type(), r, r.Pos())
+	}
+}
+
+// checkConv reports a diagnostic when assigning expression src to a
+// destination of interface type dst would box a concrete value.
+func (h *hotPass) checkConv(dst types.Type, src ast.Expr, pos token.Pos) {
+	if dst == nil || !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := h.p.Info.Types[src]
+	if !ok || tv.Type == nil || tv.IsNil() {
+		return
+	}
+	st := tv.Type
+	if types.IsInterface(st) {
+		return
+	}
+	if basic, ok := st.(*types.Basic); ok && basic.Info()&types.IsUntyped != 0 {
+		st = types.Default(st)
+	}
+	h.diag(pos, "conversion of %s to interface %s in hot-path function %s allocates",
+		types.TypeString(st, types.RelativeTo(h.p.Types)),
+		types.TypeString(dst, types.RelativeTo(h.p.Types)), h.fd.Name.Name)
+}

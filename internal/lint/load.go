@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	Path  string // import path ("piranha/internal/sim")
+	Dir   string // absolute directory
+	Name  string // package name
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a fully parsed and type-checked Go module: every non-test
+// package, sharing one FileSet, checked in dependency order.
+type Module struct {
+	Root string // absolute module root (directory holding go.mod)
+	Path string // module path from the go.mod module directive
+	Fset *token.FileSet
+	Pkgs []*Package // dependency (topological) order
+
+	byPath map[string]*Package
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// a go.mod file.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// LoadModule parses and type-checks the module rooted at root (which
+// must contain go.mod). Test files, testdata directories, hidden and
+// underscore directories, vendor trees, and nested modules are skipped.
+// The toolchain's export data (falling back to GOROOT source) resolves
+// standard-library imports; in-module imports resolve to the packages
+// checked here, so no external driver or x/tools dependency is needed.
+func LoadModule(root string) (*Module, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := modulePath(gomod)
+	if modPath == "" {
+		return nil, fmt.Errorf("%s: no module directive", filepath.Join(abs, "go.mod"))
+	}
+	m := &Module{
+		Root:   abs,
+		Path:   modPath,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+
+	err = filepath.WalkDir(abs, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != abs {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return fs.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return fs.SkipDir // nested module
+			}
+		}
+		return m.parseDir(path)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	order, err := m.topoSort()
+	if err != nil {
+		return nil, err
+	}
+	imp := &chainImporter{m: m}
+	for _, p := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(p.Path, m.Fset, p.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %w", p.Path, err)
+		}
+		p.Types, p.Info = tp, info
+	}
+	m.Pkgs = order
+	return m, nil
+}
+
+// parseDir parses the buildable non-test Go files of one directory into
+// a Package (directories without Go files are skipped).
+func (m *Module) parseDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	p := &Package{Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(m.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if excludedByBuildTag(f) {
+			continue
+		}
+		if p.Name == "" {
+			p.Name = f.Name.Name
+		} else if p.Name != f.Name.Name {
+			return fmt.Errorf("%s: packages %s and %s in one directory", dir, p.Name, f.Name.Name)
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return err
+	}
+	if rel == "." {
+		p.Path = m.Path
+	} else {
+		p.Path = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	m.byPath[p.Path] = p
+	return nil
+}
+
+// excludedByBuildTag reports whether a file opts out of every build via
+// a "//go:build ignore"-style constraint (the only form the module
+// uses; full constraint evaluation is deliberately out of scope).
+func excludedByBuildTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build ignore") ||
+				strings.HasPrefix(c.Text, "// +build ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// topoSort orders packages so that every in-module import precedes its
+// importer.
+func (m *Module) topoSort() ([]*Package, error) {
+	paths := make([]string, 0, len(m.byPath))
+	for path := range m.byPath {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+
+	const (
+		white = iota
+		grey
+		black
+	)
+	state := make(map[string]int, len(paths))
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		p := m.byPath[path]
+		if p == nil || state[path] == black {
+			return nil
+		}
+		if state[path] == grey {
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		state[path] = grey
+		for _, dep := range m.moduleImports(p) {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[path] = black
+		order = append(order, p)
+		return nil
+	}
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// moduleImports lists p's imports that live inside this module, sorted.
+func (m *Module) moduleImports(p *Package) []string {
+	seen := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+				seen[path] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for path := range seen {
+		out = append(out, path)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chainImporter resolves in-module imports to the packages this loader
+// already checked and everything else through the compiler's export
+// data, falling back to type-checking GOROOT source (so the tool works
+// both against a warm build cache and on a bare toolchain install).
+type chainImporter struct {
+	m   *Module
+	gc  types.Importer
+	src types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p := c.m.byPath[path]; p != nil && p.Types != nil {
+		return p.Types, nil
+	}
+	if c.gc == nil {
+		c.gc = importer.Default()
+		c.src = importer.ForCompiler(c.m.Fset, "source", nil)
+	}
+	if pkg, err := c.gc.Import(path); err == nil {
+		return pkg, nil
+	}
+	return c.src.Import(path)
+}
+
+// modulePath extracts the module path from go.mod contents.
+func modulePath(gomod []byte) string {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

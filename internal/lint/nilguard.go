@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NilGuard returns the analyzer enforcing the nil-receiver contract on
+// types annotated //piranha:nilguard (the trace recorder): components
+// hold a possibly-nil pointer and call methods unconditionally, so
+// every exported method must be nil-safe. Accepted forms:
+//
+//	func (t *T) M(...) { if t == nil { return ... } ... }
+//	func (t *T) M(...) { if t == nil || <more> { return ... } ... }
+//	func (t *T) M() bool { return t == nil }   // or t != nil
+//
+// A value receiver defeats the contract entirely and is flagged too.
+func NilGuard() Analyzer {
+	return Analyzer{
+		Name: "nilguard",
+		Run: func(m *Module, p *Package) []Diagnostic {
+			guarded := annotatedTypes(p)
+			if len(guarded) == 0 {
+				return nil
+			}
+			var out []Diagnostic
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+						continue
+					}
+					tname, ptr := recvTypeName(p, fd)
+					if tname == "" || !guarded[tname] {
+						continue
+					}
+					if !ptr {
+						out = append(out, m.diag("nilguard", fd.Pos(),
+							"exported method %s on nilguard type %s must use a pointer receiver to be nil-safe", fd.Name.Name, tname))
+						continue
+					}
+					recv := recvName(fd)
+					if recv == "" || recv == "_" {
+						out = append(out, m.diag("nilguard", fd.Pos(),
+							"exported method %s on nilguard type %s has no named receiver to nil-check", fd.Name.Name, tname))
+						continue
+					}
+					if !nilGuarded(fd, recv) {
+						out = append(out, m.diag("nilguard", fd.Pos(),
+							"exported method %s on nilguard type %s must begin with `if %s == nil`", fd.Name.Name, tname, recv))
+					}
+				}
+			}
+			return out
+		},
+	}
+}
+
+// annotatedTypes collects the names of types in p whose declaration
+// carries //piranha:nilguard (on the type spec or its enclosing decl).
+func annotatedTypes(p *Package) map[string]bool {
+	out := make(map[string]bool)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasDirective(ts.Doc, dirNilguard) || hasDirective(gd.Doc, dirNilguard) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// recvTypeName resolves a method's receiver to its named type and
+// whether the receiver is a pointer.
+func recvTypeName(p *Package, fd *ast.FuncDecl) (name string, ptr bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", false
+	}
+	t := p.Info.Types[fd.Recv.List[0].Type].Type
+	if t == nil {
+		return "", false
+	}
+	if pt, ok := t.(*types.Pointer); ok {
+		ptr = true
+		t = pt.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	return named.Obj().Name(), ptr
+}
+
+// recvName returns the receiver's identifier name ("" if anonymous).
+func recvName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// nilGuarded reports whether fd's body satisfies the guard contract for
+// receiver recv.
+func nilGuarded(fd *ast.FuncDecl, recv string) bool {
+	body := fd.Body.List
+	if len(body) == 0 {
+		return true // empty body is trivially nil-safe
+	}
+	// Single-statement predicate form: return recv ==/!= nil.
+	if ret, ok := body[0].(*ast.ReturnStmt); ok && len(body) == 1 && len(ret.Results) == 1 {
+		if isRecvNilCompare(ret.Results[0], recv, token.EQL) ||
+			isRecvNilCompare(ret.Results[0], recv, token.NEQ) {
+			return true
+		}
+	}
+	// Leading-guard form: if recv == nil [|| ...] { ...; return }.
+	ifs, ok := body[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !isRecvNilCompare(leftmostOr(ifs.Cond), recv, token.EQL) {
+		return false
+	}
+	n := len(ifs.Body.List)
+	if n == 0 {
+		return false
+	}
+	_, isReturn := ifs.Body.List[n-1].(*ast.ReturnStmt)
+	return isReturn
+}
+
+// leftmostOr descends the left spine of a || chain.
+func leftmostOr(e ast.Expr) ast.Expr {
+	for {
+		be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+		if !ok || be.Op != token.LOR {
+			return ast.Unparen(e)
+		}
+		e = be.X
+	}
+}
+
+// isRecvNilCompare reports whether e is `recv op nil` (either operand
+// order).
+func isRecvNilCompare(e ast.Expr, recv string, op token.Token) bool {
+	be, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || be.Op != op {
+		return false
+	}
+	return (isIdent(be.X, recv) && isIdent(be.Y, "nil")) ||
+		(isIdent(be.Y, recv) && isIdent(be.X, "nil"))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == name
+}

@@ -1,0 +1,63 @@
+// Package hot seeds hotpath-analyzer violations for the fixture golden
+// test.
+package hot
+
+import "fmt"
+
+type sink interface{ Sink() }
+
+type impl struct{ n int }
+
+func (impl) Sink() {}
+
+func consume(s sink) {}
+
+// Hot is annotated and deliberately dirty: every statement introduces
+// an allocation the analyzer must flag.
+//
+//piranha:hotpath
+func Hot(name string, n int) string {
+	defer func() {}()
+	m := map[string]int{}
+	_ = m
+	s := []int{1, 2}
+	_ = s
+	consume(impl{n: n})
+	var boxed interface{} = n
+	_ = boxed
+	label := "x" + name
+	return fmt.Sprintf("%s%d", label, n)
+}
+
+// Box converts its result into an interface return value: finding.
+//
+//piranha:hotpath
+func Box(n int) interface{} {
+	return n
+}
+
+// Convert is an explicit conversion to an interface type: finding.
+//
+//piranha:hotpath
+func Convert(v impl) sink {
+	return sink(v)
+}
+
+// Clean is annotated and allocation-free: struct and array literals,
+// builtins (panic's boxing is off the hot path), and arithmetic.
+//
+//piranha:hotpath
+func Clean(n int) int {
+	type point struct{ x, y int }
+	p := point{x: n, y: n}
+	a := [2]int{n, n}
+	if n < 0 {
+		panic("hot: negative")
+	}
+	return p.x + a[1]
+}
+
+// Unannotated may do anything: clean as far as hotpath is concerned.
+func Unannotated(name string) string {
+	return fmt.Sprintf("<%s>", name)
+}

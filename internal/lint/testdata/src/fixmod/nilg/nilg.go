@@ -1,0 +1,44 @@
+// Package nilg seeds nilguard fixture violations.
+package nilg
+
+// R is a trace-recorder-like type: callers hold a possibly-nil *R and
+// call exported methods unconditionally.
+//
+//piranha:nilguard
+type R struct {
+	n int
+}
+
+// Good begins with the guard: clean.
+func (r *R) Good() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Enabled uses the single-statement predicate form: clean.
+func (r *R) Enabled() bool { return r != nil }
+
+// Both uses the leading || guard: clean.
+func (r *R) Both(limit int) int {
+	if r == nil || r.n > limit {
+		return 0
+	}
+	return r.n
+}
+
+// Bad dereferences the receiver with no guard: finding.
+func (r *R) Bad() int { return r.n }
+
+// Value has a value receiver, which defeats the nil contract: finding.
+func (r R) Value() int { return r.n }
+
+// internal is unexported: exempt.
+func (r *R) internal() int { return r.n }
+
+// Plain is not annotated; its methods are exempt.
+type Plain struct{ n int }
+
+// Loose has no guard but Plain is not a nilguard type: clean.
+func (p *Plain) Loose() int { return p.n }

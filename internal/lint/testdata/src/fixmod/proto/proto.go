@@ -1,0 +1,23 @@
+// Package proto seeds protocol-table fixture violations: a miniature
+// protocol with a state enum, a message-kind enum, and a dispatch file.
+package proto
+
+// State is the fixture protocol-state enum.
+type State uint8
+
+// Protocol states.
+const (
+	Idle State = iota
+	Shared
+	Owned
+)
+
+// Kind is the fixture message-kind enum.
+type Kind uint8
+
+// Message kinds.
+const (
+	Get Kind = iota
+	GetX
+	Put
+)

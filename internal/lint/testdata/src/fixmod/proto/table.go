@@ -1,0 +1,39 @@
+package proto
+
+// The ledger below seeds one entry of each interesting class:
+//
+//piranha:unreachable Owned Put an owned line is never re-upgraded
+//piranha:unreachable Idle * stale entry: idle is fully handled below
+//piranha:unreachable Bogus Get unknown state name
+
+type network struct{}
+
+// Send delivers one message.
+func (network) Send(dst int, msg Kind) {}
+
+// NakBusy is a NAK-named message a no-NAK protocol must never put on
+// the wire (a var, so it does not join the Kind enum's constants).
+var NakBusy = Put
+
+// Dispatch covers Idle (with an exhaustive nested kind switch) and
+// Shared, but not Owned: (Owned, Put) is ledgered, while (Owned, Get)
+// and (Owned, GetX) are findings.
+func Dispatch(s State, k Kind) int {
+	switch s {
+	case Idle:
+		switch k {
+		case Get, GetX:
+			return 1
+		case Put:
+			return 2
+		}
+	case Shared:
+		return 3
+	}
+	return 0
+}
+
+// Reply puts a NAK-named identifier in a sent-message position: finding.
+func Reply(n network, dst int) {
+	n.Send(dst, NakBusy)
+}

@@ -164,6 +164,8 @@ func newEngine(name string, entries int, occ sim.Time) *Engine {
 // process charges one message-handling step: a TSRF entry is (re)used for
 // the engine occupancy. hold extends the entry's reservation (a thread in
 // waiting state keeps its TSRF entry for the transaction's duration).
+//
+//piranha:hotpath
 func (e *Engine) process(now sim.Time, hold sim.Time) sim.Time {
 	d := e.occ
 	if hold > d {

@@ -32,6 +32,8 @@ func (p *NodeProto) HomeIsLocal(line cache.LineAddr) bool {
 func (p *NodeProto) LocalDirState(line cache.LineAddr) l2.RemoteState {
 	e := p.f.dirEntry(p.f.nodes[p.id], line)
 	switch e.State {
+	case directory.Uncached:
+		return l2.RemoteNone
 	case directory.Exclusive:
 		return l2.RemoteExclusive
 	case directory.Shared, directory.SharedCoarse:
@@ -40,12 +42,40 @@ func (p *NodeProto) LocalDirState(line cache.LineAddr) l2.RemoteState {
 	return l2.RemoteNone
 }
 
+// wantsExclusive maps a request kind to whether the transaction must
+// end with the requester holding the line exclusively. The switch is
+// exhaustive over l2.Kind so that adding a message type without
+// deciding its ownership semantics fails piranha-vet's protocol-table
+// check rather than silently defaulting.
+func wantsExclusive(kind l2.Kind) bool {
+	switch kind {
+	case l2.Read:
+		return false
+	case l2.ReadEx, l2.Upgrade, l2.ReadExNoData:
+		return true
+	}
+	panic("pe: unknown request kind")
+}
+
+// replySize is the reply packet size for a request the home services:
+// data-carrying replies are a full line, while upgrades and
+// exclusive-no-data grants need only the header.
+func replySize(kind l2.Kind) int {
+	switch kind {
+	case l2.Read, l2.ReadEx:
+		return LongPacket
+	case l2.Upgrade, l2.ReadExNoData:
+		return ShortPacket
+	}
+	panic("pe: unknown request kind")
+}
+
 // Fetch implements l2.Remote: it runs a full inter-node transaction.
 func (p *NodeProto) Fetch(now sim.Time, kind l2.Kind, line cache.LineAddr) (sim.Time, l2.Svc, bool) {
 	f := p.f
 	r := f.nodes[p.id]
 	h := f.nodes[f.HomeOf(line)]
-	wantEx := kind != l2.Read
+	wantEx := wantsExclusive(kind)
 
 	if h == r {
 		// Home-local line currently owned exclusively by a remote node:
@@ -85,7 +115,7 @@ func (f *Fabric) homeLocalOwnerFetch(now sim.Time, h *node, kind l2.Kind, line c
 		return now, l2.SvcLocalMem, entry.State == directory.Uncached
 	}
 	o := f.nodes[entry.Owner]
-	wantEx := kind != l2.Read
+	wantEx := wantsExclusive(kind)
 
 	start, release := h.home.tsrf.Reserve(now)
 	h.home.Stats.Transactions++
@@ -210,11 +240,7 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 		}
 	}
 
-	size := LongPacket
-	if kind == l2.Upgrade || kind == l2.ReadExNoData {
-		size = ShortPacket
-	}
-	reply := h.home.send(f.net, dataReady, h.id, req, size, prioHigh)
+	reply := h.home.send(f.net, dataReady, h.id, req, replySize(kind), prioHigh)
 	release(dataReady)
 	svc := l2.SvcRemote
 	f.tr.Span(trace.PE, trace.KHomeTx, uint8(h.id), unitHE, uint64(line.Addr()), arrive, reply, uint32(kind))
@@ -225,6 +251,8 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 func (f *Fabric) sharersExcept(e directory.Entry, skip NodeID) []NodeID {
 	var out []NodeID
 	switch e.State {
+	case directory.Uncached:
+		// No copies exist anywhere; nothing to invalidate.
 	case directory.Exclusive:
 		if e.Owner != skip {
 			out = append(out, e.Owner)

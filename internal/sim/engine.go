@@ -75,6 +75,8 @@ func (e *Engine) Pending() int { return e.live }
 // Schedule runs do at absolute time at and returns an ID that can cancel
 // it. Scheduling in the past panics: it always indicates a model bug, and
 // silently reordering time would corrupt every downstream statistic.
+//
+//piranha:hotpath
 func (e *Engine) Schedule(at Time, do func()) EventID {
 	if at < e.now {
 		panic("sim: event scheduled in the past")
@@ -96,11 +98,15 @@ func (e *Engine) Schedule(at Time, do func()) EventID {
 }
 
 // After runs do d picoseconds from now and returns its cancellation ID.
+//
+//piranha:hotpath
 func (e *Engine) After(d Time, do func()) EventID { return e.Schedule(e.now+d, do) }
 
 // Cancel prevents a scheduled event from running and reports whether it
 // was still pending. Cancellation is O(1): the slot's callback is cleared
 // and its heap entry is discarded lazily when it reaches the top.
+//
+//piranha:hotpath
 func (e *Engine) Cancel(id EventID) bool {
 	if id.slot < 0 || int(id.slot) >= len(e.slots) {
 		return false
@@ -116,6 +122,8 @@ func (e *Engine) Cancel(id EventID) bool {
 
 // retire frees ent's slot for reuse, bumping its generation so stale
 // EventIDs cannot touch the next occupant.
+//
+//piranha:hotpath
 func (e *Engine) retire(ent entry) func() {
 	s := &e.slots[ent.slot]
 	do := s.do
@@ -127,6 +135,8 @@ func (e *Engine) retire(ent entry) func() {
 
 // peek prunes cancelled events off the top of the heap and returns the
 // timestamp of the next live event, if any.
+//
+//piranha:hotpath
 func (e *Engine) peek() (Time, bool) {
 	for len(e.heap) > 0 {
 		top := e.heap[0]
@@ -140,6 +150,8 @@ func (e *Engine) peek() (Time, bool) {
 }
 
 // Step executes the next event, if any, and reports whether one ran.
+//
+//piranha:hotpath
 func (e *Engine) Step() bool {
 	for len(e.heap) > 0 {
 		top := e.heap[0]
@@ -195,6 +207,8 @@ func less(a, b entry) bool {
 
 // siftUp appends ent and restores the heap by walking the parent chain,
 // shifting displaced parents down rather than swapping pairwise.
+//
+//piranha:hotpath
 func (e *Engine) siftUp(ent entry) {
 	e.heap = append(e.heap, ent)
 	h := e.heap
@@ -214,6 +228,8 @@ func (e *Engine) siftUp(ent entry) {
 // last element down. A 4-ary layout does ~half the levels of a binary
 // heap, trading slightly more comparisons per level for far fewer moves —
 // a net win at the queue depths the timing models sustain.
+//
+//piranha:hotpath
 func (e *Engine) popRoot() {
 	h := e.heap
 	n := len(h) - 1

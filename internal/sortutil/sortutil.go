@@ -1,0 +1,25 @@
+// Package sortutil provides the deterministic-iteration helpers the
+// simulator uses wherever a Go map feeds output, event scheduling, or a
+// result slice. Go's map iteration order is deliberately randomized, so
+// any such loop must run over sorted keys to keep simulation output
+// byte-identical across runs and across serial/parallel execution — the
+// property the determinism analyzer in internal/lint enforces.
+package sortutil
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns the keys of m in ascending order. It generalizes the
+// sortedKeys helper that the figure harness originally carried for its
+// metrics maps: any ordered key type works, so duplicate-tag maps keyed
+// by cache.LineAddr sort just as metrics maps keyed by string do.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

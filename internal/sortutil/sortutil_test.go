@@ -1,0 +1,44 @@
+package sortutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeysString(t *testing.T) {
+	m := map[string]float64{"b": 2, "a": 1, "c": 3}
+	if got := Keys(m); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestKeysDefinedIntegerType(t *testing.T) {
+	type lineAddr uint64
+	m := map[lineAddr]string{7: "", 1: "", 4: ""}
+	if got := Keys(m); !reflect.DeepEqual(got, []lineAddr{1, 4, 7}) {
+		t.Fatalf("Keys = %v", got)
+	}
+}
+
+func TestKeysEmptyAndNil(t *testing.T) {
+	if got := Keys(map[int]int{}); len(got) != 0 {
+		t.Fatalf("Keys(empty) = %v", got)
+	}
+	var m map[int]int
+	if got := Keys(m); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v", got)
+	}
+}
+
+func TestKeysStable(t *testing.T) {
+	m := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		m[i*7%1000] = i
+	}
+	first := Keys(m)
+	for i := 0; i < 10; i++ {
+		if !reflect.DeepEqual(Keys(m), first) {
+			t.Fatal("Keys order varies across calls")
+		}
+	}
+}

@@ -37,6 +37,8 @@ func NewSet() *Set {
 }
 
 // Get returns the counter with the given name, creating it if needed.
+//
+//piranha:hotpath
 func (s *Set) Get(name string) *Counter {
 	if c, ok := s.counters[name]; ok {
 		return c

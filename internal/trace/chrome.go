@@ -31,6 +31,10 @@ func tid(e Event) int { return int(e.Node)*1000 + int(e.Comp)*100 + int(e.Unit) 
 // WriteChrome exports one run's events as a complete Chrome trace JSON
 // object with the given process id and label.
 func (t *Tracer) WriteChrome(w io.Writer, pid int, label string) error {
+	if t == nil {
+		// A disabled tracer still exports a valid (empty) trace document.
+		return WriteChromeMulti(w, nil, nil, pid)
+	}
 	return WriteChromeMulti(w, []*Tracer{t}, []string{label}, pid)
 }
 
