@@ -22,6 +22,14 @@
 // per-window busy/stall/miss series; -json prints one versioned Result
 // object per experiment instead of the text summary. Traces and JSON
 // are byte-identical regardless of -parallel.
+//
+// -faults runs a fault-injection campaign: the flag takes a base plan
+// ("default" or "ber=1e-5,loss=1e-4,memflip=1e-4,stall=1e-6,mirror") and
+// -fault-grid a list of rate multipliers; every config x workload pair
+// runs once per multiplier and a degradation table (throughput vs fault
+// rate, with the fault counter block) prints per pair. Campaigns are
+// deterministic: the same seed and grid reproduce identical counters and
+// curves.
 package main
 
 import (
@@ -30,14 +38,104 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"piranha"
 	"piranha/internal/core"
+	"piranha/internal/fault"
+	"piranha/internal/ras"
 	"piranha/internal/runner"
 	"piranha/internal/sim"
+	"piranha/internal/stats"
 	"piranha/internal/trace"
 )
+
+// defaultFaultPlan is the campaign base when -faults=default: rates low
+// enough that the machine limps rather than halts, high enough that a
+// short smoke run exercises every fault class.
+func defaultFaultPlan() fault.Plan {
+	return fault.Plan{
+		LinkBER:       1e-5,
+		MsgLoss:       1e-4,
+		MemFlip:       1e-4,
+		MemDoubleFrac: 0.1,
+		StallProb:     1e-6,
+	}
+}
+
+// parseFaultPlan parses the -faults spec: "default", or comma-separated
+// key=value pairs (ber, loss, memflip, double, stall) plus the bare
+// "mirror" token.
+func parseFaultPlan(spec string) (fault.Plan, error) {
+	if spec == "default" {
+		return defaultFaultPlan(), nil
+	}
+	var p fault.Plan
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if tok == "mirror" {
+			p.Mirrored = true
+			continue
+		}
+		k, v, ok := strings.Cut(tok, "=")
+		if !ok {
+			return p, fmt.Errorf("bad -faults token %q (want key=value or mirror)", tok)
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad -faults value %q: %v", tok, err)
+		}
+		switch k {
+		case "ber":
+			p.LinkBER = x
+		case "loss":
+			p.MsgLoss = x
+		case "memflip":
+			p.MemFlip = x
+		case "double":
+			p.MemDoubleFrac = x
+		case "stall":
+			p.StallProb = x
+		default:
+			return p, fmt.Errorf("unknown -faults key %q (ber|loss|memflip|double|stall|mirror)", k)
+		}
+	}
+	return p, nil
+}
+
+// parseGrid parses the -fault-grid multiplier list.
+func parseGrid(spec string) ([]float64, error) {
+	var out []float64
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		x, err := strconv.ParseFloat(tok, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-grid value %q: %v", tok, err)
+		}
+		out = append(out, x)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-fault-grid is empty")
+	}
+	return out, nil
+}
+
+// faultLine renders one grid row's counters compactly.
+func faultLine(fs *piranha.FaultStats) string {
+	if fs == nil {
+		return "-"
+	}
+	return fmt.Sprintf("inj=%-6d retrans=%-5d lost=%-4d rec=%-4d mem=%d/%d/%d stalls=%d",
+		fs.Injected, fs.Retransmits, fs.MessagesLost, fs.Recovered,
+		fs.MemCorrected, fs.MemFailovers, fs.MemUnrecoverable, fs.Stalls)
+}
 
 func main() {
 	var (
@@ -52,8 +150,26 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file covering all runs")
 		jsonOut   = flag.Bool("json", false, "print results as versioned JSON, one object per line")
 		intervals = flag.Duration("intervals", 0, "sample interval metrics per window of simulated time (e.g. 2us)")
+		faults    = flag.String("faults", "", "fault campaign base plan: 'default' or e.g. 'ber=1e-5,loss=1e-4,memflip=1e-4,stall=1e-6,mirror'")
+		faultGrid = flag.String("fault-grid", "0,1,2,4,8", "comma-separated rate multipliers swept per config x workload pair")
 	)
 	flag.Parse()
+
+	var (
+		basePlan fault.Plan
+		grid     []float64
+	)
+	if *faults != "" {
+		var err error
+		if basePlan, err = parseFaultPlan(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if grid, err = parseGrid(*faultGrid); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	sysByName := map[string]piranha.SystemConfig{
 		"p1": piranha.P1(), "p2": piranha.P2(), "p4": piranha.P4(),
@@ -66,6 +182,7 @@ func main() {
 
 	workloads := strings.Split(*work, ",")
 	var exps []core.Experiment
+	var pairs []string // campaign mode: config/workload group labels
 	for _, c := range strings.Split(*config, ",") {
 		sys, ok := sysByName[c]
 		if !ok {
@@ -97,13 +214,71 @@ func main() {
 			if *traceOut != "" {
 				e.Trace = trace.New(0)
 			}
-			exps = append(exps, e)
+			if *faults == "" {
+				exps = append(exps, e)
+				continue
+			}
+			// Campaign mode: one run per grid multiplier. Every run gets
+			// a private failover target — experiments execute in parallel
+			// and must not share mutable state.
+			pairs = append(pairs, name)
+			for _, m := range grid {
+				ge := e
+				ge.Name = fmt.Sprintf("%s x%g", name, m)
+				ge.Faults = basePlan.Scaled(m)
+				if ge.Faults.Mirrored {
+					ge.FaultEscalate = ras.NewFailover(0).Uncorrectable
+				}
+				exps = append(exps, ge)
+			}
 		}
 	}
 
 	failed := false
 	enc := json.NewEncoder(os.Stdout)
-	for _, out := range runner.Run(context.Background(), exps, *parallel) {
+	outs := runner.Run(context.Background(), exps, *parallel)
+
+	if *faults != "" && !*jsonOut {
+		// Degradation tables: one per config x workload pair, rows in
+		// grid order (results arrive in input order, pair-major).
+		for pi, pair := range pairs {
+			fmt.Printf("fault campaign %s: plan ber=%g loss=%g memflip=%g(double=%g) stall=%g mirrored=%v seed=%d\n",
+				pair, basePlan.LinkBER, basePlan.MsgLoss, basePlan.MemFlip,
+				basePlan.MemDoubleFrac, basePlan.StallProb, basePlan.Mirrored, *seed)
+			fmt.Printf("  %-8s %-10s %-8s %s\n", "xrate", "ns/tx", "rel-tput", "faults")
+			var baseNs float64
+			tputs := make([]float64, 0, len(grid))
+			for gi, m := range grid {
+				out := outs[pi*len(grid)+gi]
+				if out.Err != nil {
+					fmt.Fprintln(os.Stderr, out.Err)
+					failed = true
+					tputs = append(tputs, 0)
+					continue
+				}
+				res := out.Result
+				if baseNs == 0 {
+					baseNs = res.TimePerTx
+				}
+				rel := 0.0
+				if res.TimePerTx > 0 {
+					rel = baseNs / res.TimePerTx
+				}
+				tputs = append(tputs, rel)
+				fmt.Printf("  %-8g %-10.0f %-8.3f %s\n", m, res.TimePerTx, rel, faultLine(res.Faults))
+				if res.Series.Len() > 0 && *verbose {
+					fmt.Print(res.Series)
+				}
+			}
+			fmt.Printf("  tput vs rate |%s|\n", stats.Sparkline(tputs))
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, out := range outs {
 		if out.Err != nil {
 			fmt.Fprintln(os.Stderr, out.Err)
 			failed = true

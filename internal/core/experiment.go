@@ -5,6 +5,7 @@ import (
 	"os"
 	"sync"
 
+	"piranha/internal/fault"
 	"piranha/internal/kernel"
 	"piranha/internal/l2"
 	"piranha/internal/sim"
@@ -49,6 +50,13 @@ type Experiment struct {
 	// Intervals, when positive, samples machine-wide busy/stall/miss
 	// activity per window of simulated time into Result.Series.
 	Intervals sim.Time
+	// Faults describes the fault-injection campaign; the zero value (or
+	// any all-zero-rate plan) runs on perfect hardware, byte-identical
+	// to a run that never set it.
+	Faults fault.Plan
+	// FaultEscalate, when non-nil, handles uncorrectable memory errors
+	// (ras mirroring failover). Only consulted when Faults is enabled.
+	FaultEscalate func(now sim.Time) (extra sim.Time, recovered bool)
 }
 
 // Result carries the measurements an experiment produces.
@@ -81,6 +89,10 @@ type Result struct {
 	// with Intervals set; nil otherwise. A pointer keeps Result values
 	// comparable with == for determinism checks.
 	Series *stats.Series
+	// Faults holds the fault-injection counters when the experiment ran
+	// with an enabled fault plan; nil otherwise (same pointer idiom as
+	// Series).
+	Faults *fault.Stats
 }
 
 // String renders a one-line summary.
@@ -113,6 +125,20 @@ func Run(e Experiment) Result {
 		e.Sys.Chip.Core.IPC = workload.OOOIPC(string(e.Work.Kind))
 	}
 	sys := NewSystem(e.Sys)
+	seed := e.Seed
+	if seed == 0 {
+		seed = 12345
+	}
+	// Fault wiring precedes tracer wiring so hop spans wrap the fault
+	// latency. A zero-rate plan compiles to a disabled injector that
+	// attaches nothing and schedules nothing: the run is byte-identical
+	// to one with no fault plan at all.
+	var inj *fault.Injector
+	if e.Faults.Enabled() {
+		inj = fault.New(e.Faults, seed)
+		inj.Escalate = e.FaultEscalate
+		sys.AttachFaults(inj)
+	}
 	var series *stats.Series
 	if e.Intervals > 0 {
 		series = stats.NewSeries(e.Intervals)
@@ -120,12 +146,28 @@ func Run(e Experiment) Result {
 	if e.Trace != nil || series != nil {
 		sys.Attach(e.Trace, series)
 	}
+	if inj != nil {
+		inj.AttachSeries(series)
+		if sys.Fabric != nil {
+			sys.Fabric.ScheduleRecovery(sys.Engine)
+		}
+		// Watchdog: an injected fault must never hang a run. The sweep
+		// heals lost transactions; if the machine nonetheless stops
+		// retiring instructions, fail loudly with a diagnostic. Progress
+		// is retired instructions plus committed transactions — not
+		// transactions alone, which arrive in coarse round-robin waves
+		// that can legitimately outlast several watchdog intervals.
+		sim.NewWatchdog(sys.Engine, 8*inj.Plan().SweepPeriod, 4,
+			func() uint64 {
+				n := sys.Kern.Tx
+				for _, c := range sys.Cores {
+					n += c.Instructions
+				}
+				return n
+			}, nil)
+	}
 	lay := workload.DefaultLayout()
 	ncpu := sys.TotalCPUs()
-	seed := e.Seed
-	if seed == 0 {
-		seed = 12345
-	}
 	rng := sim.NewRNG(seed)
 
 	var procsPerCPU int
@@ -181,10 +223,21 @@ func Run(e Experiment) Result {
 	sys.ResetStats()
 	// The trace and series cover exactly the measured phase; Reset
 	// reuses their storage rather than reallocating (warm-phase events
-	// are discarded, the count set keeps its counters zeroed).
+	// are discarded, the count set keeps its counters zeroed). The
+	// injector's counters (including the link channels') reset too, so
+	// warm-up corruption doesn't pollute measured statistics.
 	e.Trace.Reset()
 	series.Reset(sys.Engine.Now())
+	inj.ResetStats()
 	elapsed := sys.Kern.RunTx(e.WarmTx + e.MeasureTx)
+	if inj != nil && sys.Kern.Tx < e.WarmTx+e.MeasureTx {
+		// RunTx returned with the queue drained short of the target: the
+		// fault campaign wedged the machine in a way even the recovery
+		// sweep + watchdog ticks couldn't surface (they keep the queue
+		// alive, so this indicates both were stopped). Fail loudly.
+		panic(fmt.Sprintf("core: fault campaign wedged the run at %d/%d transactions",
+			sys.Kern.Tx, e.WarmTx+e.MeasureTx))
+	}
 
 	r := Result{
 		Name:        e.Name,
@@ -195,6 +248,10 @@ func Run(e Experiment) Result {
 		TimePerTx:   float64(elapsed) / float64(e.MeasureTx) / float64(sim.Nanosecond),
 		CtxSwitches: sys.Kern.Switches,
 		Series:      series,
+	}
+	if inj != nil {
+		fs := inj.Collect()
+		r.Faults = &fs
 	}
 	var pageHits, pageTotal uint64
 	for _, chip := range sys.Chips {

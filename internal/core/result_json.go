@@ -36,6 +36,25 @@ type resultJSON struct {
 	Svc svcJSON `json:"svc"`
 
 	Series *stats.Series `json:"series,omitempty"`
+	Faults *faultJSON    `json:"faults,omitempty"`
+}
+
+// faultJSON carries the fault-injection counter block for runs with an
+// enabled fault plan. Omitted entirely on fault-free runs, keeping their
+// wire form unchanged.
+type faultJSON struct {
+	Injected          uint64 `json:"injected"`
+	LinkWordErrors    uint64 `json:"link_word_errors"`
+	Retransmits       uint64 `json:"retransmits"`
+	MessagesLost      uint64 `json:"messages_lost"`
+	Recovered         uint64 `json:"recovered"`
+	SweepReclaims     uint64 `json:"sweep_reclaims"`
+	MemFlips          uint64 `json:"mem_flips"`
+	MemCorrected      uint64 `json:"mem_corrected"`
+	MemFailovers      uint64 `json:"mem_failovers"`
+	MemUnrecoverable  uint64 `json:"mem_unrecoverable"`
+	Stalls            uint64 `json:"stalls"`
+	RecoveryLatencyPs int64  `json:"recovery_latency_ps"`
 }
 
 // breakdownJSON carries the Figure-5 execution-time split, both as raw
@@ -85,6 +104,23 @@ type svcJSON struct {
 // (schema_version 1; see DESIGN.md for the field reference).
 func (r Result) MarshalJSON() ([]byte, error) {
 	busy, hit, miss, other := r.Agg.Normalized(r.Agg.Total())
+	var fj *faultJSON
+	if r.Faults != nil {
+		fj = &faultJSON{
+			Injected:          r.Faults.Injected,
+			LinkWordErrors:    r.Faults.LinkWordErrors,
+			Retransmits:       r.Faults.Retransmits,
+			MessagesLost:      r.Faults.MessagesLost,
+			Recovered:         r.Faults.Recovered,
+			SweepReclaims:     r.Faults.SweepReclaims,
+			MemFlips:          r.Faults.MemFlips,
+			MemCorrected:      r.Faults.MemCorrected,
+			MemFailovers:      r.Faults.MemFailovers,
+			MemUnrecoverable:  r.Faults.MemUnrecoverable,
+			Stalls:            r.Faults.Stalls,
+			RecoveryLatencyPs: int64(r.Faults.RecoveryLatency),
+		}
+	}
 	return json.Marshal(resultJSON{
 		SchemaVersion: ResultSchemaVersion,
 		Name:          r.Name,
@@ -132,5 +168,6 @@ func (r Result) MarshalJSON() ([]byte, error) {
 			RemoteDirty: r.Svc[5],
 		},
 		Series: r.Series,
+		Faults: fj,
 	})
 }

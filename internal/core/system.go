@@ -2,6 +2,7 @@ package core
 
 import (
 	"piranha/internal/cpu"
+	"piranha/internal/fault"
 	"piranha/internal/kernel"
 	"piranha/internal/l2"
 	"piranha/internal/noc"
@@ -97,6 +98,25 @@ func (s *System) Attach(tr *trace.Tracer, series *stats.Series) {
 		s.Fabric.SetTracer(tr)
 	}
 	s.Kern.SetTracer(tr)
+}
+
+// AttachFaults wires a fault injector through the machine: memory
+// controllers roll ECC faults per line read, the protocol fabric rolls
+// link corruption, stalls and message loss per message. A disabled
+// injector leaves everything untouched. Call before Attach so the
+// tracer's hop spans wrap the fault latency.
+func (s *System) AttachFaults(inj *fault.Injector) {
+	if !inj.Enabled() {
+		return
+	}
+	for _, chip := range s.Chips {
+		for _, mc := range chip.MCs {
+			mc.SetFaults(inj)
+		}
+	}
+	if s.Fabric != nil {
+		s.Fabric.SetFaults(inj)
+	}
 }
 
 // TotalCPUs returns the machine's CPU count.

@@ -119,6 +119,40 @@ func (c *Channel) Transmit(frame []byte, maxRetries int) (attempts int, err erro
 	return attempts - 1, fmt.Errorf("link: frame lost after %d attempts", maxRetries)
 }
 
+// Stats is a snapshot of a channel's counters.
+type Stats struct {
+	WordsSent     uint64
+	FramesSent    uint64
+	WordErrors    uint64
+	CRCErrors     uint64
+	Retransmits   uint64
+	InvertedWords uint64
+}
+
+// Stats snapshots the channel's counters.
+func (c *Channel) Stats() Stats {
+	return Stats{
+		WordsSent:     c.WordsSent,
+		FramesSent:    c.FramesSent,
+		WordErrors:    c.WordErrors,
+		CRCErrors:     c.CRCErrors,
+		Retransmits:   c.Retransmits,
+		InvertedWords: c.InvertedWords,
+	}
+}
+
+// Reset zeroes the counters (e.g. at the warm/measure boundary so
+// warm-up corruption doesn't pollute measured-phase statistics). The
+// RNG keeps its position: the error sequence is unaffected.
+func (c *Channel) Reset() {
+	c.WordsSent = 0
+	c.FramesSent = 0
+	c.WordErrors = 0
+	c.CRCErrors = 0
+	c.Retransmits = 0
+	c.InvertedWords = 0
+}
+
 // TransferTime returns how long moving n payload bytes takes on one
 // channel direction given the interconnect clock. This is the bandwidth
 // component only; routing latency is the interconnect simulator's job.

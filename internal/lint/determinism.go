@@ -21,7 +21,12 @@ import (
 //     collect-then-sort idiom, e.g. sortutil.Keys);
 //   - goroutine launches outside the packages in allowGoroutines
 //     (module-relative directories; the experiment runner owns all
-//     worker fan-out).
+//     worker fan-out);
+//   - any math/rand use at all inside a fault-injection package
+//     (internal/fault): fault schedules must replay bit-identically
+//     across reruns and parallel workers, so their randomness must flow
+//     from seeded sim.RNG streams (sim.NewRNG / RNG.Split) — even an
+//     explicitly seeded *rand.Rand is rejected there.
 func Determinism(allowGoroutines ...string) Analyzer {
 	allowed := make(map[string]bool, len(allowGoroutines))
 	for _, dir := range allowGoroutines {
@@ -30,7 +35,11 @@ func Determinism(allowGoroutines ...string) Analyzer {
 	return Analyzer{
 		Name: "determinism",
 		Run: func(m *Module, p *Package) []Diagnostic {
-			d := &detPass{m: m, p: p, goroutineOK: allowed[m.relPkg(p)]}
+			d := &detPass{
+				m: m, p: p,
+				goroutineOK: allowed[m.relPkg(p)],
+				simRNGOnly:  faultPkg(m.relPkg(p)),
+			}
 			for _, f := range p.Files {
 				ast.Inspect(f, func(n ast.Node) bool {
 					switch n := n.(type) {
@@ -58,7 +67,16 @@ type detPass struct {
 	m           *Module
 	p           *Package
 	goroutineOK bool
-	out         []Diagnostic
+	// simRNGOnly marks fault-injection packages, where every math/rand
+	// use is banned (fault randomness must flow from seeded sim.RNG).
+	simRNGOnly bool
+	out        []Diagnostic
+}
+
+// faultPkg reports whether a module-relative package directory is a
+// fault-injection package, held to the stricter sim.RNG-only rule.
+func faultPkg(rel string) bool {
+	return rel == "internal/fault" || rel == "fault" || strings.HasSuffix(rel, "/fault")
 }
 
 // checkBannedFunc flags uses of wall-clock and global-rand functions.
@@ -74,6 +92,15 @@ func (d *detPass) checkBannedFunc(sel *ast.SelectorExpr) {
 				"time.%s reads the host clock; simulations must use sim.Time only", fn.Name()))
 		}
 	case "math/rand", "math/rand/v2":
+		if d.simRNGOnly {
+			// Fault-injection packages: every math/rand use — even an
+			// explicitly seeded *rand.Rand — is out; fault schedules must
+			// come from seeded sim.RNG streams so split-off component
+			// streams stay independent and reruns replay bit-identically.
+			d.out = append(d.out, d.m.diag("determinism", sel.Pos(),
+				"%s.%s in a fault-injection package: fault randomness must flow from a seeded sim.RNG stream (sim.NewRNG / RNG.Split)", fn.Pkg().Name(), fn.Name()))
+			return
+		}
 		// Constructors (rand.New, rand.NewSource) build the explicitly
 		// seeded generators we want; only the top-level functions that
 		// share the global generator are nondeterministic.

@@ -76,6 +76,18 @@ func TestEachAnalyzerCatchesSeededViolation(t *testing.T) {
 			t.Errorf("analyzer %s reported nothing on the seeded fixture", a)
 		}
 	}
+	// The fault-package sim.RNG provenance rule: the seeded rand.New /
+	// rand.NewSource / Intn uses in fault/fault.go — fine anywhere else —
+	// must all be findings there.
+	simRNG := 0
+	for _, d := range fixtureDiags(t) {
+		if d.File == "fault/fault.go" && strings.Contains(d.Message, "sim.RNG") {
+			simRNG++
+		}
+	}
+	if simRNG < 3 {
+		t.Errorf("fault-package sim.RNG rule reported %d findings in fault/fault.go, want the 3 seeded rand uses", simRNG)
+	}
 	// The seeded NAK send and the seeded exhaustiveness hole are
 	// distinct protocoltable properties; require both.
 	var sawNAK, sawHole, sawStale, sawUnknown bool
@@ -162,6 +174,7 @@ func TestCleanFixtureFunctionsSilent(t *testing.T) {
 		}
 	}
 	mustBeSilent("det/det.go", "SortedCollect")
+	mustBeSilent("fault/fault.go", "Clean")
 	mustBeSilent("det/det.go", "Mutate")
 	mustBeSilent("hot/hot.go", "Clean")
 	mustBeSilent("hot/hot.go", "Unannotated")

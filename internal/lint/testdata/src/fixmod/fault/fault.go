@@ -1,0 +1,23 @@
+// Package fault seeds determinism-analyzer violations specific to
+// fault-injection packages: here even explicitly seeded math/rand use is
+// banned — fault schedules must flow from seeded sim.RNG streams.
+package fault
+
+import "math/rand"
+
+// Roll draws a fault decision from a seeded *rand.Rand. Everywhere else
+// the seeded constructor idiom is fine; in a fault package all three
+// uses below (rand.New, rand.NewSource, the Intn method) are findings.
+func Roll(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Clean draws from a hand-rolled deterministic generator — the sim.RNG
+// shape — and must stay silent.
+func Clean(state uint64) (uint64, uint64) {
+	state ^= state << 13
+	state ^= state >> 7
+	state ^= state << 17
+	return state, state % 10
+}

@@ -1,0 +1,58 @@
+package memctl
+
+import (
+	"testing"
+
+	"piranha/internal/cache"
+	"piranha/internal/fault"
+	"piranha/internal/sim"
+)
+
+// TestReadChargesScrubLatency: with an every-read single-bit-flip plan,
+// each line read completes exactly one scrub later than the fault-free
+// baseline, and the page-policy/channel behavior is untouched.
+func TestReadChargesScrubLatency(t *testing.T) {
+	const scrub = 80 * sim.Nanosecond
+	clean := New(DefaultConfig())
+	faulty := New(DefaultConfig())
+	faulty.SetFaults(fault.New(fault.Plan{MemFlip: 1, ScrubLatency: scrub}, 1))
+
+	now := sim.Time(0)
+	for i := 0; i < 64; i++ {
+		a := cache.Addr(i * 64 * 17)
+		c1, f1 := clean.Read(now, a)
+		c2, f2 := faulty.Read(now, a)
+		if c2 != c1+scrub || f2 != f1+scrub {
+			t.Fatalf("read %d: faulty (%d,%d) vs clean (%d,%d): want +%d", i, c2, f2, c1, f1, scrub)
+		}
+		now += 2 * sim.Microsecond
+	}
+	if faulty.PageHits != clean.PageHits || faulty.PageMiss != clean.PageMiss {
+		t.Errorf("fault path changed page policy: %d/%d vs %d/%d",
+			faulty.PageHits, faulty.PageMiss, clean.PageHits, clean.PageMiss)
+	}
+}
+
+// TestReadEscalatesToFailover: double-bit errors on a mirrored plan pay
+// the mirror latency and count as failovers, not unrecoverables.
+func TestReadEscalatesToFailover(t *testing.T) {
+	const mirror = 120 * sim.Nanosecond
+	inj := fault.New(fault.Plan{MemFlip: 1, MemDoubleFrac: 1, Mirrored: true, MirrorLatency: mirror}, 1)
+	clean := New(DefaultConfig())
+	faulty := New(DefaultConfig())
+	faulty.SetFaults(inj)
+
+	for i := 0; i < 32; i++ {
+		a := cache.Addr(i * 4096)
+		now := sim.Time(i) * 3 * sim.Microsecond
+		c1, _ := clean.Read(now, a)
+		c2, _ := faulty.Read(now, a)
+		if c2 != c1+mirror {
+			t.Fatalf("read %d: critical %d vs clean %d, want +%d", i, c2, c1, mirror)
+		}
+	}
+	s := inj.Collect()
+	if s.MemFailovers != 32 || s.MemUnrecoverable != 0 {
+		t.Fatalf("failovers=%d fatal=%d, want 32/0", s.MemFailovers, s.MemUnrecoverable)
+	}
+}

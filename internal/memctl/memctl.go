@@ -10,6 +10,7 @@ package memctl
 
 import (
 	"piranha/internal/cache"
+	"piranha/internal/fault"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
 )
@@ -67,6 +68,8 @@ type Controller struct {
 	node uint8
 	unit int16 // channel index on the chip
 
+	flt *fault.Injector // nil when fault injection is off
+
 	// Stats.
 	Reads     uint64
 	Writes    uint64
@@ -81,6 +84,11 @@ type Controller struct {
 func (c *Controller) SetTracer(tr *trace.Tracer, node uint8, unit int16) {
 	c.tr, c.node, c.unit = tr, node, unit
 }
+
+// SetFaults attaches a fault injector (nil disables): line reads roll
+// memory bit flips through the SECDED decode path, paying scrub latency
+// on correctable errors and mirroring failover on uncorrectable ones.
+func (c *Controller) SetFaults(inj *fault.Injector) { c.flt = inj }
 
 // New returns an idle controller.
 func New(cfg Config) *Controller {
@@ -128,6 +136,12 @@ func (c *Controller) Read(now sim.Time, a cache.Addr) (critical, full sim.Time) 
 	critical = full - c.cfg.RestOfLine
 	if critical < now+lat {
 		critical = now + lat
+	}
+	if extra := c.flt.MemRead(now, a); extra > 0 {
+		// ECC scrub or mirror failover delays both the critical word and
+		// line completion; the channel occupancy itself is unchanged.
+		critical += extra
+		full += extra
 	}
 	if c.tr != nil {
 		k := trace.KPageMiss

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"piranha/internal/fault"
 	"piranha/internal/sim"
 )
 
@@ -37,6 +38,15 @@ func (p *Packet) cycles() int64 {
 		return LongCycles
 	}
 	return ShortCycles
+}
+
+// bytes is the payload the link layer frames for this packet: a 128-bit
+// header for short packets, header + 64-byte line for long ones.
+func (p *Packet) bytes() int {
+	if p.Long {
+		return 80
+	}
+	return 16
 }
 
 // Config tunes the routers.
@@ -78,6 +88,8 @@ type Network struct {
 	inFlight  int
 	arrivals  map[int64][]arrival // packets completing a hop at a cycle
 	Delivered []*Packet
+
+	flt *fault.Injector // nil when fault injection is off
 }
 
 type arrival struct {
@@ -107,6 +119,12 @@ func NewNetwork(cfg Config, topo Topology, seed uint64) (*Network, error) {
 	}
 	return n, nil
 }
+
+// SetFaults attaches a fault injector (nil disables): every hop runs the
+// packet's frame through the link-layer encode/decode path at the plan's
+// bit-error rate, and corrupted frames re-occupy the output channel for
+// each retransmission.
+func (n *Network) SetFaults(inj *fault.Injector) { n.flt = inj }
 
 // Cycle returns the current interconnect cycle.
 func (n *Network) Cycle() int64 { return n.cycle }
@@ -189,8 +207,14 @@ func (n *Network) arbitrate(rt *router) {
 	}
 
 	sendOut := func(p *Packet, ch int) {
-		rt.linkFree[ch] = n.cycle + p.cycles()
-		at := n.cycle + p.cycles()
+		occ := p.cycles()
+		if r := n.flt.HopRetransmits(uint64(rt.id), p.bytes()); r > 0 {
+			// Each go-back-N resend re-occupies the channel for the full
+			// packet and delays the hop's arrival by the same amount.
+			occ += int64(r) * p.cycles()
+		}
+		rt.linkFree[ch] = n.cycle + occ
+		at := n.cycle + occ
 		n.arrivals[at] = append(n.arrivals[at], arrival{pkt: p, at: neigh[ch]})
 	}
 

@@ -40,6 +40,7 @@ import (
 
 	"piranha/internal/cache"
 	"piranha/internal/directory"
+	"piranha/internal/fault"
 	"piranha/internal/l2"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
@@ -212,6 +213,7 @@ type Fabric struct {
 	net   Network
 	nodes []*node
 	tr    *trace.Tracer
+	inj   *fault.Injector // nil when fault injection is off
 
 	// Global protocol statistics.
 	InvalsSent  uint64
@@ -247,6 +249,88 @@ func (f *Fabric) SetTracer(tr *trace.Tracer) {
 	}
 	f.tr = tr
 	f.net = tracedNet{inner: f.net, tr: tr}
+}
+
+// SetFaults attaches a fault injector. A disabled injector (nil plan or
+// all-zero rates) leaves the fabric untouched so fault-free runs stay
+// byte-identical. Call before SetTracer so hop spans include the fault
+// latency.
+func (f *Fabric) SetFaults(inj *fault.Injector) {
+	if !inj.Enabled() {
+		return
+	}
+	f.inj = inj
+	f.net = faultNet{inner: f.net, inj: inj}
+}
+
+// faultNet wraps the fabric's network with the per-message fault model:
+// link-level retransmit latency charged at the sender, transient stall
+// latency at the receiver.
+type faultNet struct {
+	inner Network
+	inj   *fault.Injector
+}
+
+// Send implements Network.
+func (fn faultNet) Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.Time {
+	if from != to {
+		now += fn.inj.LinkDelay(uint64(from), bytes)
+	}
+	done := fn.inner.Send(now, from, to, bytes, prio)
+	if from != to {
+		done += fn.inj.StallDelay(uint64(to))
+	}
+	return done
+}
+
+// ScheduleRecovery arms the periodic TSRF recovery sweep (paper §2.7) on
+// the simulation engine: every plan SweepPeriod, each node's home and
+// remote engines scan their TSRFs for transactions outstanding longer
+// than the plan timeout and reclaim the entries. After any reclaim the
+// node's L2 invariants are re-checked — recovery must never leave the
+// coherence state inconsistent. The sweep consumes engine sequence
+// numbers, so it is a no-op unless the injector is live; fault-free runs
+// must not carry it.
+func (f *Fabric) ScheduleRecovery(eng *sim.Engine) {
+	if f.inj == nil {
+		return
+	}
+	period := f.inj.Plan().SweepPeriod
+	timeout := f.inj.Plan().Timeout
+	var sweep func()
+	sweep = func() {
+		now := eng.Now()
+		for _, nd := range f.nodes {
+			n := nd.home.Recover(now, timeout) + nd.remote.Recover(now, timeout)
+			f.inj.NoteSweep(n)
+			if n > 0 && nd.l2 != nil {
+				if err := nd.l2.CheckInvariants(); err != nil {
+					panic(fmt.Sprintf("pe: recovery sweep on node %d broke coherence: %v", nd.id, err))
+				}
+			}
+		}
+		eng.After(period, sweep)
+	}
+	eng.After(period, sweep)
+}
+
+// loseAndRecover models one lost protocol message: the transaction's
+// TSRF entry is reserved and never released (exactly what a lost reply
+// leaves behind), stays occupied for the full timeout, and is reclaimed
+// by the recovery sweep's staleness scan at the first sweep tick past
+// the timeout — when the retry resumes. The scan runs here, on the
+// synchronous transaction timeline, because the engines compute whole
+// transactions ahead of the event clock: waiting for the scheduled sweep
+// event would leave the abandoned mark in place long enough for
+// concurrent losses to exhaust the 16-entry pool and wedge the machine.
+// The periodic ScheduleRecovery sweep backstops anything left stranded.
+func (f *Fabric) loseAndRecover(e *Engine, now sim.Time) sim.Time {
+	start, _ := e.tsrf.Reserve(now) // release intentionally abandoned
+	e.Stats.Transactions++
+	recoverAt := f.inj.RecoverTime(start)
+	f.inj.NoteSweep(e.Recover(recoverAt, f.inj.Plan().Timeout))
+	f.inj.NoteRecovery(now, recoverAt)
+	return recoverAt
 }
 
 // tracedNet wraps the fabric's network, recording each message as a

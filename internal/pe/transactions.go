@@ -3,6 +3,7 @@ package pe
 import (
 	"piranha/internal/cache"
 	"piranha/internal/directory"
+	"piranha/internal/fault"
 	"piranha/internal/l2"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
@@ -84,7 +85,12 @@ func (p *NodeProto) Fetch(now sim.Time, kind l2.Kind, line cache.LineAddr) (sim.
 	}
 
 	// Remote home: the remote engine owns the transaction for its whole
-	// duration (a TSRF entry in waiting state).
+	// duration (a TSRF entry in waiting state). A lost message strands
+	// the entry until the recovery sweep reclaims it; the retry restarts
+	// the transaction from the sweep time.
+	for try := 0; try < fault.MaxLossRetries && f.inj.LoseMessage(); try++ {
+		now = f.loseAndRecover(r.remote, now)
+	}
 	start, release := r.remote.tsrf.Reserve(now)
 	r.remote.Stats.Transactions++
 	r.remote.Stats.Occupancy += f.cfg.RemoteOccupancy
@@ -117,6 +123,9 @@ func (f *Fabric) homeLocalOwnerFetch(now sim.Time, h *node, kind l2.Kind, line c
 	o := f.nodes[entry.Owner]
 	wantEx := wantsExclusive(kind)
 
+	for try := 0; try < fault.MaxLossRetries && f.inj.LoseMessage(); try++ {
+		now = f.loseAndRecover(h.home, now)
+	}
 	start, release := h.home.tsrf.Reserve(now)
 	h.home.Stats.Transactions++
 	h.home.Stats.Occupancy += f.cfg.HomeOccupancy
@@ -373,6 +382,9 @@ func (p *NodeProto) Writeback(now sim.Time, line cache.LineAddr) {
 	f := p.f
 	r := f.nodes[p.id]
 	h := f.nodes[f.HomeOf(line)]
+	for try := 0; try < fault.MaxLossRetries && f.inj.LoseMessage(); try++ {
+		now = f.loseAndRecover(r.remote, now)
+	}
 	start, release := r.remote.tsrf.Reserve(now)
 	r.remote.Stats.Transactions++
 	start += f.cfg.RemoteOccupancy

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPoolLateReleaseAfterRecoverIsNoOp pins the RecoverStale fix: a
+// release closure firing after the sweep already reclaimed (and another
+// reservation reused) its server must not clobber the new occupant.
+func TestPoolLateReleaseAfterRecoverIsNoOp(t *testing.T) {
+	p := NewPool("tsrf", 1)
+
+	// Reservation A at t=100 is abandoned (its reply was lost).
+	startA, releaseA := p.Reserve(100)
+	if startA != 100 {
+		t.Fatalf("start A = %d, want 100", startA)
+	}
+
+	// The sweep at t=5000 reclaims it (timeout 1000).
+	if n := p.RecoverStale(5000, 1000); n != 1 {
+		t.Fatalf("RecoverStale = %d, want 1", n)
+	}
+	if p.Recovered != 1 {
+		t.Fatalf("Recovered = %d, want 1", p.Recovered)
+	}
+	if got := p.InUse(5000); got != 0 {
+		t.Fatalf("InUse after recover = %d, want 0", got)
+	}
+
+	// Reservation B reuses the server.
+	startB, releaseB := p.Reserve(5000)
+	if startB != 5000 {
+		t.Fatalf("start B = %d, want 5000", startB)
+	}
+	busyBefore := p.BusyTime
+
+	// A's release arrives late (the transaction's code path finally
+	// unwound). It must be a no-op: B still holds the server.
+	releaseA(6000)
+	if p.BusyTime != busyBefore {
+		t.Errorf("late release changed BusyTime: %d -> %d", busyBefore, p.BusyTime)
+	}
+	if got := p.InUse(7000); got != 1 {
+		t.Errorf("late release freed B's server: InUse = %d, want 1", got)
+	}
+
+	// B's own release still works.
+	releaseB(8000)
+	if got := p.InUse(9000); got != 0 {
+		t.Errorf("B's release ignored: InUse = %d, want 0", got)
+	}
+	if p.BusyTime != busyBefore+3000 {
+		t.Errorf("BusyTime = %d, want %d", p.BusyTime, busyBefore+3000)
+	}
+}
+
+// TestPoolRecoverStaleRespectsTimeout: a young open reservation and a
+// closed (Acquire-style) busy server are both left alone.
+func TestPoolRecoverStaleRespectsTimeout(t *testing.T) {
+	p := NewPool("tsrf", 2)
+	_, release := p.Reserve(0)
+	p.Acquire(0, 10_000) // closed-end occupancy, not an open reservation
+
+	if n := p.RecoverStale(500, 1000); n != 0 {
+		t.Fatalf("RecoverStale reclaimed a young reservation: %d", n)
+	}
+	// Exactly at the timeout boundary the entry is not yet stale
+	// (strictly-greater comparison).
+	if n := p.RecoverStale(1000, 1000); n != 0 {
+		t.Fatalf("RecoverStale reclaimed at age == timeout: %d", n)
+	}
+	if n := p.RecoverStale(1001, 1000); n != 1 {
+		t.Fatalf("RecoverStale past timeout = %d, want 1", n)
+	}
+	release(2000) // late release of the reclaimed entry: must be inert
+	if got := p.InUse(5000); got != 1 {
+		t.Errorf("InUse = %d, want 1 (the Acquire occupancy)", got)
+	}
+}
+
+// TestWatchdogFailsOnFrozenProgress: a run whose queue keeps ticking but
+// whose progress counter froze must fail with a diagnostic.
+func TestWatchdogFailsOnFrozenProgress(t *testing.T) {
+	eng := NewEngine()
+	var failMsg string
+	progress := uint64(7) // never moves
+	NewWatchdog(eng, 100, 3, func() uint64 { return progress }, func(msg string) { failMsg = msg })
+	eng.Run()
+	if failMsg == "" {
+		t.Fatal("watchdog never fired on frozen progress")
+	}
+	for _, want := range []string{"no progress", "stuck at 7"} {
+		if !strings.Contains(failMsg, want) {
+			t.Errorf("diagnostic %q missing %q", failMsg, want)
+		}
+	}
+	// First tick primes, then maxIdle idle intervals: fail at 4*interval.
+	if eng.Now() != 400 {
+		t.Errorf("failed at t=%d, want 400", eng.Now())
+	}
+}
+
+// TestWatchdogSilentUnderProgress: while the counter moves, the watchdog
+// keeps rescheduling and never fires; Stop disarms it.
+func TestWatchdogSilentUnderProgress(t *testing.T) {
+	eng := NewEngine()
+	var progress uint64
+	fired := false
+	w := NewWatchdog(eng, 100, 2, func() uint64 { return progress }, func(string) { fired = true })
+	// Progress bumps faster than the idle threshold.
+	var bump func()
+	bump = func() {
+		progress++
+		if eng.Now() < 2000 {
+			eng.After(150, bump)
+		}
+	}
+	eng.After(150, bump)
+	eng.RunUntil(2000)
+	if fired {
+		t.Fatal("watchdog fired despite progress")
+	}
+	w.Stop()
+	eng.Run()
+	if fired {
+		t.Fatal("watchdog fired after Stop")
+	}
+}

@@ -62,11 +62,19 @@ type Pool struct {
 	// heldSince records when an open-ended Reserve claimed each server
 	// (zero when the server is not under an open reservation).
 	heldSince []Time
+	// gen counts reservation epochs per server. Release closures capture
+	// the generation they were issued under, so a release arriving after
+	// RecoverStale already reclaimed (and possibly re-reserved) the
+	// server is a no-op instead of clobbering the new occupant.
+	gen []uint32
 
 	Requests uint64
 	WaitTime Time
 	MaxWait  Time
 	BusyTime Time
+
+	// Recovered counts reservations force-released by RecoverStale.
+	Recovered uint64
 }
 
 // NewPool returns a Pool with k servers, all free at time zero.
@@ -74,7 +82,12 @@ func NewPool(name string, k int) *Pool {
 	if k < 1 {
 		k = 1
 	}
-	return &Pool{Name: name, free: make([]Time, k), heldSince: make([]Time, k)}
+	return &Pool{
+		Name:      name,
+		free:      make([]Time, k),
+		heldSince: make([]Time, k),
+		gen:       make([]uint32, k),
+	}
 }
 
 // Size returns the number of servers.
@@ -130,18 +143,28 @@ func (p *Pool) Reserve(now Time) (start Time, release func(end Time)) {
 	// Mark the server busy indefinitely until released.
 	p.free[best] = start + reservedMark // placeholder; release overwrites
 	p.heldSince[best] = start + 1       // +1 so a t=0 reservation is visible
-	i := best
+	i, g := best, p.gen[best]
 	return start, func(end Time) {
+		if p.gen[i] != g {
+			return // RecoverStale already reclaimed this reservation
+		}
 		if end < start {
 			end = start
 		}
 		p.BusyTime += end - start
 		p.free[i] = end
 		p.heldSince[i] = 0
+		p.gen[i]++
 	}
 }
 
-// reservedMark flags a server under an open-ended reservation.
+// reservedMark flags a server under an open-ended reservation. It is far
+// beyond any plausible simulated horizon (~1.1 s) so a reserved server is
+// not misclassified as free, yet small enough that retry loops which back
+// off past it (the baseline NAK protocol under a saturated TSRF) still
+// terminate. Stale-release safety does not depend on its magnitude: the
+// per-server generation counters make a release that arrives after
+// RecoverStale reclaimed the entry a no-op.
 const reservedMark Time = 1 << 40
 
 // RecoverStale force-releases open reservations older than timeout — the
@@ -156,6 +179,8 @@ func (p *Pool) RecoverStale(now, timeout Time) int {
 			p.BusyTime += now - (h - 1)
 			p.free[i] = now
 			p.heldSince[i] = 0
+			p.gen[i]++ // invalidate the outstanding release closure
+			p.Recovered++
 			n++
 		}
 	}

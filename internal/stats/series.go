@@ -28,12 +28,16 @@ type Series struct {
 	Bins []Bin `json:"bins"`
 }
 
-// Bin aggregates one interval's activity.
+// Bin aggregates one interval's activity. The fault-recovery fields are
+// omitempty so fault-free runs serialize exactly as before.
 type Bin struct {
 	Busy     sim.Time `json:"busy_ps"`  // cpu execution (incl. L1 hits)
 	Stall    sim.Time `json:"stall_ps"` // cpu stalled on the memory system
 	Accesses uint64   `json:"accesses"` // L1 probes
 	Misses   uint64   `json:"misses"`   // L1 misses
+
+	Recoveries uint64   `json:"recoveries,omitempty"`  // TSRF timeout recoveries completed
+	RecoveryPs sim.Time `json:"recovery_ps,omitempty"` // time those transactions spent recovering
 }
 
 // NewSeries returns a sampler with the given bin width (which must be
@@ -103,6 +107,20 @@ func (s *Series) AddAccess(at sim.Time, miss bool) {
 	if miss {
 		bin.Misses++
 	}
+}
+
+// AddRecovery records one TSRF timeout recovery completing at the given
+// instant, with the latency the transaction spent wedged.
+func (s *Series) AddRecovery(at, latency sim.Time) {
+	if s == nil {
+		return
+	}
+	if at < s.Origin {
+		at = s.Origin
+	}
+	bin := s.ensure(int((at - s.Origin) / s.Interval))
+	bin.Recoveries++
+	bin.RecoveryPs += latency
 }
 
 // Reset discards all bins in place (keeping the backing array) and
@@ -190,5 +208,22 @@ func (s *Series) String() string {
 	fmt.Fprintf(&b, "  busy      |%s|\n", Sparkline(s.busyValues()))
 	fmt.Fprintf(&b, "  busy frac |%s|\n", Sparkline(s.BusyFracs()))
 	fmt.Fprintf(&b, "  miss rate |%s|\n", Sparkline(s.MissRates()))
+	if vals, any := s.recoveryValues(); any {
+		fmt.Fprintf(&b, "  recovery  |%s|\n", Sparkline(vals))
+	}
 	return b.String()
+}
+
+// recoveryValues returns per-bin recovery counts and whether any bin saw
+// a recovery (fault-free runs keep the String output unchanged).
+func (s *Series) recoveryValues() ([]float64, bool) {
+	out := make([]float64, s.Len())
+	any := false
+	for i, b := range s.Bins {
+		out[i] = float64(b.Recoveries)
+		if b.Recoveries > 0 {
+			any = true
+		}
+	}
+	return out, any
 }

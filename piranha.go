@@ -35,6 +35,8 @@ import (
 	"time"
 
 	"piranha/internal/core"
+	"piranha/internal/fault"
+	"piranha/internal/ras"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
 	"piranha/internal/workload"
@@ -51,6 +53,15 @@ type SystemConfig = core.SystemConfig
 
 // Workload names a workload and its configuration knobs.
 type Workload = core.WorkloadSpec
+
+// FaultPlan describes a deterministic fault-injection campaign: per-class
+// rates (link bit errors, protocol-message loss, memory bit flips,
+// transient node stalls) plus the recovery parameters. The zero value is
+// the perfect machine. See WithFaults.
+type FaultPlan = fault.Plan
+
+// FaultStats is the per-run fault counter block (Result.Faults).
+type FaultStats = fault.Stats
 
 // Workload constructors for the paper's four workload families.
 
@@ -159,6 +170,23 @@ func WithTrace(w io.Writer) Option {
 // events (0 selects the default; see trace.DefaultCapacity).
 func WithTraceCapacity(n int) Option {
 	return func(rc *runConfig) { rc.traceCap = n }
+}
+
+// WithFaults runs the simulation under a deterministic fault-injection
+// plan: link words corrupt at the plan's bit-error rate (paying real
+// retransmit latency through the link-layer CRC handshake), protocol
+// messages are lost and healed by periodic TSRF timeout recovery, memory
+// reads flip bits through the SECDED decode path, and nodes transiently
+// stall. Counters land in Result.Faults. A mirrored plan escalates
+// uncorrectable memory errors to ras mirroring failover. A zero-rate
+// plan is inert: the run is byte-identical to one without this option.
+func WithFaults(p FaultPlan) Option {
+	return func(rc *runConfig) {
+		rc.exp.Faults = p
+		if p.Mirrored && rc.exp.FaultEscalate == nil {
+			rc.exp.FaultEscalate = ras.NewFailover(p.MirrorLatency).Uncorrectable
+		}
+	}
 }
 
 // Run simulates one workload on one machine configuration. Options
