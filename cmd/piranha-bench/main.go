@@ -1,0 +1,322 @@
+// Command piranha-bench measures the simulator's host-side performance
+// and emits a versioned JSON report (BENCH_5.json) so the repository
+// carries a committed benchmark trajectory. Two families of benchmarks
+// run:
+//
+//   - End-to-end: full OLTP and DSS experiments at P1 and P8, reporting
+//     host ns per simulated transaction — the number that tells you how
+//     long a paper-scale figure run costs on this machine.
+//   - Micro: the three memory-system hot paths the dense-state refactor
+//     targets (L2 line lookup, protocol-engine directory dispatch, noc
+//     hop delivery). These must be allocation-free in steady state; the
+//     harness fails loudly if they are not.
+//
+// With -baseline, the micro rows are compared against a previously
+// committed report and the run fails on a >10% allocs/op regression
+// (end-to-end rows are excluded: their allocation totals scale with the
+// transaction count, which -quick changes).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"piranha/internal/cache"
+	"piranha/internal/core"
+	"piranha/internal/ics"
+	"piranha/internal/l1"
+	"piranha/internal/l2"
+	"piranha/internal/noc"
+	"piranha/internal/pe"
+	"piranha/internal/sim"
+)
+
+// schemaVersion is the report format version; benchVersion is the PR
+// trajectory index (BENCH_<benchVersion>.json).
+const (
+	schemaVersion = 1
+	benchVersion  = 5
+)
+
+// Result is one benchmark row.
+type Result struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // "end-to-end" or "micro"
+	Iters       int     `json:"iters"`
+	Ops         int     `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// NsPerSimTx is host time per simulated transaction (end-to-end only).
+	NsPerSimTx float64 `json:"ns_per_sim_tx,omitempty"`
+}
+
+// Report is the whole BENCH_5.json document.
+type Report struct {
+	SchemaVersion int      `json:"schema_version"`
+	BenchVersion  int      `json:"bench_version"`
+	Quick         bool     `json:"quick"`
+	GoVersion     string   `json:"go_version"`
+	GoOS          string   `json:"go_os"`
+	GoArch        string   `json:"go_arch"`
+	Suite         []Result `json:"suite"`
+}
+
+// measure times iters calls of fn, each covering ops operations, after
+// warm calls to reach steady state, and returns per-operation cost.
+func measure(name, kind string, warm, iters, ops int, fn func()) Result {
+	for i := 0; i < warm; i++ {
+		fn()
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	//piranha:allow determinism host benchmark harness measures wall-clock by design
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	//piranha:allow determinism host benchmark harness measures wall-clock by design
+	dt := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	total := float64(iters * ops)
+	return Result{
+		Name:        name,
+		Kind:        kind,
+		Iters:       iters,
+		Ops:         ops,
+		NsPerOp:     float64(dt.Nanoseconds()) / total,
+		AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / total,
+		BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / total,
+	}
+}
+
+// endToEnd runs one full experiment per iteration and reports host ns
+// per simulated transaction.
+func endToEnd(name string, kind core.WorkloadKind, cpus int, warmTx, measureTx uint64, iters int) Result {
+	exp := core.Experiment{
+		Name:      name,
+		Sys:       core.SystemConfig{Chips: 1, Chip: core.PiranhaChip(cpus)},
+		Work:      core.WorkloadSpec{Kind: kind},
+		WarmTx:    warmTx,
+		MeasureTx: measureTx,
+	}
+	r := measure(name, "end-to-end", 1, iters, 1, func() {
+		res := core.Run(exp)
+		if res.Tx != measureTx {
+			fatalf("%s: measured %d transactions, want %d", name, res.Tx, measureTx)
+		}
+	})
+	r.NsPerSimTx = r.NsPerOp / float64(measureTx)
+	return r
+}
+
+// fakeMem is the fixed-latency memory stub behind the L2 micro rig.
+type fakeMem struct{}
+
+func (fakeMem) Read(now sim.Time, _ cache.Addr) (sim.Time, sim.Time) {
+	return now + 60*sim.Nanosecond, now + 90*sim.Nanosecond
+}
+func (fakeMem) Write(now sim.Time, _ cache.Addr) sim.Time { return now + 40*sim.Nanosecond }
+
+// l2LookupBench probes a warmed single-chip L2's line table: half the
+// probes hit resident lines, half miss, exercising both probe-chain
+// outcomes of the dense table.
+func l2LookupBench(iters int) Result {
+	clock := sim.MHz(500)
+	var l1s []*l1.Cache
+	var ds []*l1.Cache
+	for cpu := 0; cpu < 8; cpu++ {
+		d := l1.New(l1.Data, cpu, cpu*2, l1.DefaultConfig())
+		i := l1.New(l1.Instruction, cpu, cpu*2+1, l1.DefaultConfig())
+		ds = append(ds, d)
+		l1s = append(l1s, d, i)
+	}
+	mems := make([]l2.Memory, 8)
+	for b := range mems {
+		mems[b] = fakeMem{}
+	}
+	cache2 := l2.New(l2.DefaultConfig(), clock, l1s, mems, ics.New(ics.DefaultConfig(clock)), l2.LocalOnly{})
+
+	const lines = 4096
+	now := sim.Time(0)
+	for i := 0; i < lines; i++ {
+		now += 50 * sim.Nanosecond
+		cache2.Access(now, ds[i%8], l2.Read, cache.Addr(i)*cache.LineBytes)
+	}
+	probes := make([]cache.LineAddr, 2*lines)
+	for i := range probes {
+		probes[i] = cache.LineAddr(i)
+	}
+	var hits int
+	r := measure("micro/l2_lookup", "micro", 2, iters, len(probes), func() {
+		hits = 0
+		for _, line := range probes {
+			if cache2.HasLine(line) {
+				hits++
+			}
+		}
+	})
+	if hits == 0 || hits == len(probes) {
+		fatalf("l2_lookup: degenerate probe mix (%d/%d hits)", hits, len(probes))
+	}
+	return r
+}
+
+// peDirDispatchBench measures the directory half of a home-engine
+// dispatch (decode, add sharer, re-encode, store) on a warmed dense
+// directory table.
+func peDirDispatchBench(iters int) Result {
+	f := pe.NewFabric(pe.DefaultConfig(8), pe.NewFlatNetworkN(25*sim.Nanosecond, 8))
+	lines := f.SeedDirectory(4096)
+	var touched int
+	r := measure("micro/pe_dirdispatch", "micro", 2, iters, len(lines), func() {
+		touched = f.DirectoryDispatch(lines)
+	})
+	if touched != len(lines) {
+		fatalf("pe_dirdispatch: touched %d entries, want %d", touched, len(lines))
+	}
+	return r
+}
+
+// nocHopBench delivers a recycled packet batch across an 8-node ring;
+// per-op is per delivered packet.
+func nocHopBench(iters int) Result {
+	hb, err := noc.NewHopBench(noc.DefaultConfig(), noc.Ring{N: 8}, 1, 64)
+	if err != nil {
+		fatalf("noc bench: %v", err)
+	}
+	round := func() {
+		n, err := hb.Round(1 << 20)
+		if err != nil {
+			fatalf("noc bench round: %v", err)
+		}
+		if n != hb.Packets() {
+			fatalf("noc bench: delivered %d packets, want %d", n, hb.Packets())
+		}
+	}
+	// The arrival wheel's buckets and the routers' queues grow their
+	// backing arrays toward a high-water mark over the first few hundred
+	// rounds (adaptive routing varies each round's arrival pattern);
+	// beyond ~300 rounds every structure has peaked and rounds allocate
+	// exactly nothing.
+	return measure("micro/noc_hop", "micro", 512, iters, hb.Packets(), round)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "piranha-bench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller transaction counts and iteration budgets (CI smoke)")
+	out := flag.String("o", "BENCH_5.json", "output report path")
+	baseline := flag.String("baseline", "", "compare micro allocs/op against this committed report (fail on >10% regression)")
+	flag.Parse()
+
+	warmTx, measureTx := uint64(100), uint64(500)
+	e2eIters, microIters := 3, 50
+	if *quick {
+		warmTx, measureTx = 20, 50
+		e2eIters, microIters = 1, 10
+	}
+
+	rep := Report{
+		SchemaVersion: schemaVersion,
+		BenchVersion:  benchVersion,
+		Quick:         *quick,
+		GoVersion:     runtime.Version(),
+		GoOS:          runtime.GOOS,
+		GoArch:        runtime.GOARCH,
+	}
+	add := func(r Result) {
+		rep.Suite = append(rep.Suite, r)
+		extra := ""
+		if r.NsPerSimTx > 0 {
+			extra = fmt.Sprintf("  %12.0f ns/sim-tx", r.NsPerSimTx)
+		}
+		fmt.Printf("%-22s %12.1f ns/op %10.3f allocs/op %12.1f B/op%s\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, extra)
+	}
+
+	add(endToEnd("oltp/p1", core.OLTP, 1, warmTx, measureTx, e2eIters))
+	add(endToEnd("oltp/p8", core.OLTP, 8, warmTx, measureTx, e2eIters))
+	add(endToEnd("dss/p1", core.DSS, 1, warmTx, measureTx, e2eIters))
+	add(endToEnd("dss/p8", core.DSS, 8, warmTx, measureTx, e2eIters))
+	add(l2LookupBench(microIters))
+	add(peDirDispatchBench(microIters))
+	add(nocHopBench(microIters))
+
+	// The refactor's contract: the three hot paths allocate nothing in
+	// steady state. Enforce it on every run, not just under -baseline.
+	failed := false
+	for _, r := range rep.Suite {
+		if r.Kind == "micro" && r.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "piranha-bench: %s allocates %.4f objects/op; hot paths must be allocation-free\n",
+				r.Name, r.AllocsPerOp)
+			failed = true
+		}
+	}
+
+	if *baseline != "" {
+		if err := compareBaseline(*baseline, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "piranha-bench: %v\n", err)
+			failed = true
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// compareBaseline fails when a micro benchmark's allocs/op regressed
+// more than 10% against the committed report (and any regression at all
+// from an allocation-free baseline).
+func compareBaseline(path string, cur Report) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.SchemaVersion != schemaVersion {
+		return fmt.Errorf("baseline %s: schema_version %d, want %d", path, base.SchemaVersion, schemaVersion)
+	}
+	byName := make(map[string]Result)
+	for _, r := range base.Suite {
+		if r.Kind == "micro" {
+			byName[r.Name] = r
+		}
+	}
+	for _, r := range cur.Suite {
+		if r.Kind != "micro" {
+			continue
+		}
+		b, ok := byName[r.Name]
+		if !ok {
+			continue // new benchmark: nothing to regress against
+		}
+		limit := b.AllocsPerOp * 1.10
+		if r.AllocsPerOp > limit {
+			return fmt.Errorf("%s: allocs/op %.4f exceeds baseline %.4f by >10%%",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	return nil
+}

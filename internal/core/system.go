@@ -71,7 +71,7 @@ func NewSystem(cfg SystemConfig) *System {
 			if oneWay == 0 {
 				oneWay = 25 * sim.Nanosecond
 			}
-			net = pe.NewFlatNetwork(oneWay)
+			net = pe.NewFlatNetworkN(oneWay, cfg.Chips)
 		}
 		s.Fabric = pe.NewFabric(pcfg, net)
 		for i := 0; i < cfg.Chips; i++ {

@@ -153,17 +153,29 @@ func Encode(cfg Config, e Entry) (uint64, error) {
 	case Exclusive:
 		body = uint64(e.Owner)
 	case Shared:
-		members := e.Sharers.Members(cfg.Nodes)
-		if len(members) == 0 {
+		// Walk the bitset directly (twice) rather than materializing a
+		// member slice: encoding shared entries is the home engines'
+		// steady-state directory-store path and must not allocate.
+		count := 0
+		for i := 0; i < cfg.Nodes; i++ {
+			if e.Sharers.Has(NodeID(i)) {
+				count++
+			}
+		}
+		if count == 0 {
 			return Encode(cfg, Clear())
 		}
-		if len(members) > MaxPointers {
-			return 0, fmt.Errorf("directory: %d sharers exceed %d pointers; use SharedCoarse", len(members), MaxPointers)
+		if count > MaxPointers {
+			return 0, fmt.Errorf("directory: %d sharers exceed %d pointers; use SharedCoarse", count, MaxPointers)
 		}
-		for i, n := range members {
-			body |= uint64(n) << (uint(i) * 10)
+		slot := 0
+		for i := 0; i < cfg.Nodes; i++ {
+			if e.Sharers.Has(NodeID(i)) {
+				body |= uint64(i) << (uint(slot) * 10)
+				slot++
+			}
 		}
-		body |= uint64(len(members)-1) << 40
+		body |= uint64(count-1) << 40
 	case SharedCoarse:
 		for i := 0; i < cfg.Nodes; i++ {
 			if e.Sharers.Has(NodeID(i)) {

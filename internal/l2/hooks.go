@@ -22,7 +22,7 @@ import (
 // on-chip copy is invalidated.
 func (l *L2) ServeRemote(now sim.Time, line cache.LineAddr, exclusive bool) (onChip, dirty bool, done sim.Time) {
 	b := l.BankOf(line)
-	info := b.info[line]
+	info := b.info.Ref(line)
 	if info == nil {
 		return false, false, now
 	}
@@ -32,7 +32,7 @@ func (l *L2) ServeRemote(now sim.Time, line cache.LineAddr, exclusive bool) (onC
 	if exclusive {
 		l.invalidateSharers(b, line, info, -1)
 		b.arr.Invalidate(line)
-		delete(b.info, line)
+		b.info.Delete(line)
 	} else {
 		for id := 0; id < len(l.l1s); id++ {
 			if info.sharers&(1<<uint(id)) != 0 {
@@ -55,7 +55,7 @@ func (l *L2) ServeRemote(now sim.Time, line cache.LineAddr, exclusive bool) (onC
 // and when it completed.
 func (l *L2) FlushDirty(now sim.Time, line cache.LineAddr) (bool, sim.Time) {
 	b := l.BankOf(line)
-	info := b.info[line]
+	info := b.info.Ref(line)
 	if info == nil || !info.dirty {
 		return false, now
 	}
@@ -79,8 +79,8 @@ func (l *L2) FlushDirty(now sim.Time, line cache.LineAddr) (bool, sim.Time) {
 func (l *L2) DirtyLines(lo, hi cache.Addr) []cache.LineAddr {
 	var out []cache.LineAddr
 	for _, b := range l.banks {
-		for _, line := range sortutil.Keys(b.info) {
-			if info := b.info[line]; info.dirty && line.Addr() >= lo && line.Addr() < hi {
+		for _, line := range b.info.Keys() {
+			if info := b.info.Ref(line); info.dirty && line.Addr() >= lo && line.Addr() < hi {
 				out = append(out, line)
 			}
 		}
@@ -94,7 +94,7 @@ func (l *L2) DirtyLines(lo, hi cache.Addr) []cache.LineAddr {
 // would have saved).
 func (l *L2) CrashVolatile() (lostDirty int) {
 	for _, b := range l.banks {
-		for line, info := range b.info {
+		b.info.Range(func(line cache.LineAddr, info *lineInfo) bool {
 			if info.dirty {
 				lostDirty++
 			}
@@ -104,9 +104,10 @@ func (l *L2) CrashVolatile() (lostDirty int) {
 				}
 			}
 			b.arr.Invalidate(line)
-			delete(b.info, line)
-		}
-		b.pend = make(map[cache.LineAddr]sim.Time)
+			return true
+		})
+		b.info.Reset()
+		b.pend.Reset()
 	}
 	return lostDirty
 }
@@ -128,19 +129,23 @@ func (l *L2) AddClient(c *l1.Cache) {
 // copies of a home-local line exist (used when the home engine exports a
 // line that is also cached on-chip).
 func (l *L2) MarkRemoteShared(line cache.LineAddr) {
-	if info := l.BankOf(line).info[line]; info != nil {
+	if info := l.BankOf(line).info.Ref(line); info != nil {
 		info.remote = RemoteShared
 	}
 }
 
 // HasLine reports whether any on-chip cache holds the line (tests, pe).
+//
+//piranha:hotpath
 func (l *L2) HasLine(line cache.LineAddr) bool {
-	return l.BankOf(line).info[line] != nil
+	return l.BankOf(line).info.Ref(line) != nil
 }
 
 // LineDirty reports the dirty status of an on-chip line.
+//
+//piranha:hotpath
 func (l *L2) LineDirty(line cache.LineAddr) bool {
-	if info := l.BankOf(line).info[line]; info != nil {
+	if info := l.BankOf(line).info.Ref(line); info != nil {
 		return info.dirty
 	}
 	return false
@@ -217,7 +222,7 @@ func (l *L2) CheckInvariants() error {
 	// at once, the same violation is reported on every run.
 	for _, line := range sortutil.Keys(actual) {
 		r := actual[line]
-		info := l.BankOf(line).info[line]
+		info := l.BankOf(line).info.Ref(line)
 		if info == nil {
 			return fmt.Errorf("line %#x held by L1s %#x but untracked", line, r.mask)
 		}
@@ -242,8 +247,8 @@ func (l *L2) CheckInvariants() error {
 	}
 	// Every tracked line must be resident and correctly owned.
 	for _, b := range l.banks {
-		for _, line := range sortutil.Keys(b.info) {
-			info := b.info[line]
+		for _, line := range b.info.Keys() {
+			info := b.info.Ref(line)
 			inL2 := b.arr.Lookup(line) != nil
 			r := actual[line]
 			var mask uint32

@@ -34,6 +34,7 @@ import (
 	"piranha/internal/cache"
 	"piranha/internal/ics"
 	"piranha/internal/l1"
+	"piranha/internal/linemap"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
 )
@@ -214,7 +215,12 @@ func DefaultConfig() Config {
 
 // lineInfo is a bank's duplicate-tag record for one on-chip line: exactly
 // which L1s hold it, who owns it, whether the on-chip copy is newer than
-// memory, and the partially-interpreted remote state.
+// memory, and the partially-interpreted remote state. Records live as
+// values inside the bank's dense linemap table (one 8-byte struct per
+// slot, no per-line heap object); the table hands out interior pointers,
+// which stay valid across the deletes the eviction paths perform but not
+// across a growing insert — serveMiss, the only inserter, installs its
+// record before any pointer to it is used.
 type lineInfo struct {
 	sharers uint32 // bitmask over L1 IDs
 	owner   int8   // ownerL2 or an L1 ID
@@ -225,13 +231,18 @@ type lineInfo struct {
 
 const ownerL2 = int8(-1)
 
-// Bank is one of the eight L2 banks with its controller state.
+// Bank is one of the eight L2 banks with its controller state. The
+// per-line duplicate-tag records and same-line transaction blocks are
+// dense, index-addressed tables (see internal/linemap) rather than Go
+// maps: every simulated access walks these structures, and pointer-boxed
+// map values were the dominant steady-state allocation of the whole
+// simulator.
 type Bank struct {
 	idx  int
 	arr  *cache.Cache
-	info map[cache.LineAddr]*lineInfo
+	info *linemap.Map[lineInfo]
 	ctl  *sim.Server
-	pend map[cache.LineAddr]sim.Time
+	pend *linemap.Map[sim.Time]
 	tsrf *sim.Pool
 
 	// Queueing telemetry.
@@ -296,8 +307,8 @@ func New(cfg Config, clock sim.Clock, l1s []*l1.Cache, mems []Memory, sw *ics.Sw
 				IndexShift: bankShift,
 				Replace:    cache.RoundRobin,
 			}),
-			info: make(map[cache.LineAddr]*lineInfo),
-			pend: make(map[cache.LineAddr]sim.Time),
+			info: linemap.New[lineInfo](1024),
+			pend: linemap.New[sim.Time](1024),
 			ctl:  sim.NewServer(1),
 			tsrf: sim.NewPool(fmt.Sprintf("l2-pend-%d", i), cfg.PendEntries),
 		})
@@ -317,7 +328,7 @@ func (l *L2) BankOf(line cache.LineAddr) *Bank {
 //
 //piranha:hotpath
 func (b *Bank) occupy(l *L2, now sim.Time, line cache.LineAddr) sim.Time {
-	if t, ok := b.pend[line]; ok && t > now {
+	if t, ok := b.pend.Get(line); ok && t > now {
 		b.PendWait += t - now
 		b.PendConflicts++
 		now = t
@@ -326,7 +337,9 @@ func (b *Bank) occupy(l *L2, now sim.Time, line cache.LineAddr) sim.Time {
 }
 
 // block records that transactions on the line conflict until t.
-func (b *Bank) block(line cache.LineAddr, t sim.Time) { b.pend[line] = t }
+//
+//piranha:hotpath
+func (b *Bank) block(line cache.LineAddr, t sim.Time) { b.pend.Put(line, t) }
 
 // Access services an L1 miss (or upgrade) from the given L1 module.
 // It performs all state transitions — filling the requesting L1,
@@ -362,7 +375,7 @@ func (l *L2) access(now sim.Time, req *l1.Cache, kind Kind, a cache.Addr) (sim.T
 	b := l.BankOf(line)
 	start := b.occupy(l, now, line)
 
-	info := b.info[line]
+	info := b.info.Ref(line)
 	switch kind {
 	case Upgrade:
 		return l.upgrade(b, start, req, line, info)
@@ -511,7 +524,7 @@ func (l *L2) serveByForward(b *Bank, start sim.Time, req *l1.Cache, kind Kind, l
 func (l *L2) serveMiss(b *Bank, start sim.Time, req *l1.Cache, kind Kind, line cache.LineAddr) (sim.Time, Svc) {
 	var done sim.Time
 	var svc Svc
-	newInfo := &lineInfo{owner: int8(req.ID), lastReq: int8(req.ID)}
+	newInfo := lineInfo{owner: int8(req.ID), lastReq: int8(req.ID)}
 	fillState := cache.Shared
 
 	if l.remote.HomeIsLocal(line) {
@@ -596,9 +609,11 @@ func (l *L2) serveMiss(b *Bank, start sim.Time, req *l1.Cache, kind Kind, line c
 	// Non-inclusive fill: the line goes straight to the L1. The L2 is
 	// NOT allocated; it fills later, if ever, when the L1 replaces the
 	// line and writes it back as owner. (The inclusive ablation
-	// allocates here too, paying the duplicate capacity.)
-	b.info[line] = newInfo
-	l.fill(b, done, req, line, fillState, newInfo)
+	// allocates here too, paying the duplicate capacity.) The insert
+	// happens before fill so the record's stable slot pointer is the one
+	// the downstream victim processing sees.
+	info := b.info.Put(line, newInfo)
+	l.fill(b, done, req, line, fillState, info)
 	if l.cfg.Inclusive {
 		if v := b.arr.Insert(line, cache.Shared); v.State.Valid() && v.Tag != line {
 			l.l2Evicted(b, done, v.Tag)
@@ -668,9 +683,10 @@ func (l *L2) fill(b *Bank, t sim.Time, req *l1.Cache, line cache.LineAddr, st ca
 // back into the L2 (the only way the victim-cache L2 is ever filled).
 // The victim's MESI state tells the bank whether the data was modified
 // (an E line upgraded to M silently still arrives here as M).
+//piranha:hotpath
 func (l *L2) l1Evicted(now sim.Time, l1id int, line cache.LineAddr, st cache.MESI) {
 	b := l.BankOf(line)
-	info := b.info[line]
+	info := b.info.Ref(line)
 	if info == nil || info.sharers&(1<<uint(l1id)) == 0 {
 		panic("l2: duplicate tags out of sync with L1 eviction")
 	}
@@ -701,7 +717,7 @@ func (l *L2) l1Evicted(now sim.Time, l1id int, line cache.LineAddr, st cache.MES
 
 // l2Evicted handles replacement of a line from the L2 array itself.
 func (l *L2) l2Evicted(b *Bank, now sim.Time, line cache.LineAddr) {
-	info := b.info[line]
+	info := b.info.Ref(line)
 	if info == nil {
 		panic("l2: evicting line without info")
 	}
@@ -746,12 +762,14 @@ func (l *L2) l2Evicted(b *Bank, now sim.Time, line cache.LineAddr) {
 		l.Stats.WritebacksToMem++
 		l.remote.Writeback(now, line)
 	}
-	delete(b.info, line)
+	b.info.Delete(line)
 }
 
 // dropIfGone removes the bookkeeping when no on-chip copy remains.
+//
+//piranha:hotpath
 func (l *L2) dropIfGone(b *Bank, line cache.LineAddr, info *lineInfo) {
 	if info.sharers == 0 && b.arr.Lookup(line) == nil {
-		delete(b.info, line)
+		b.info.Delete(line)
 	}
 }

@@ -110,7 +110,7 @@ func TestReadForwardedFromPeerL1(t *testing.T) {
 		t.Fatal("states after forward not S/S")
 	}
 	// Ownership moved to the last requester.
-	info := r.l2.BankOf(a.Line()).info[a.Line()]
+	info := r.l2.BankOf(a.Line()).info.Ref(a.Line())
 	if info.owner != int8(r.d[1].ID) {
 		t.Fatalf("owner %d, want %d", info.owner, r.d[1].ID)
 	}
@@ -347,7 +347,7 @@ func TestServeRemoteRead(t *testing.T) {
 		t.Fatal("dirty flag should clear after home update")
 	}
 	// A local write must now invalidate remotely: check partial state.
-	if r.l2.BankOf(a.Line()).info[a.Line()].remote != RemoteShared {
+	if r.l2.BankOf(a.Line()).info.Ref(a.Line()).remote != RemoteShared {
 		t.Fatal("partial directory state not updated")
 	}
 	r.check(t)
@@ -510,6 +510,98 @@ func TestInclusiveStressInvariants(t *testing.T) {
 				t.Fatalf("step %d: %v", i, err)
 			}
 		}
+	}
+	r.check(t)
+}
+
+// caps snapshots every bank's dense-table capacities (info, pend).
+func (r *rig) caps() (info, pend []int) {
+	for _, b := range r.l2.banks {
+		info = append(info, b.info.Cap())
+		pend = append(pend, b.pend.Cap())
+	}
+	return
+}
+
+// TestDenseTablesRecycleSlotsUnderEvictionChurn: sustained traffic over
+// a working set far larger than the L1s forces constant L1 evictions,
+// ownership replacements, and dropIfGone/l2Evicted deletions. After a
+// warm-up pass the dense line tables must have reached steady size —
+// continued churn recycles tombstoned slots instead of growing the
+// backing arrays.
+func TestDenseTablesRecycleSlotsUnderEvictionChurn(t *testing.T) {
+	r := newRig(t)
+	now := sim.Time(0)
+	churn := func(rounds int) {
+		for round := 0; round < rounds; round++ {
+			for i := 0; i < 8192; i++ {
+				a := cache.Addr(i) * cache.LineBytes
+				c := r.d[i%2] // two L1s: 4096 lines each, 4x their capacity
+				kind := Read
+				if i%5 == 0 {
+					kind = ReadEx
+				}
+				if kind == ReadEx && c.State(a.Line()) == cache.Shared {
+					kind = Upgrade
+				}
+				if kind == Read && c.State(a.Line()) != cache.Invalid {
+					continue
+				}
+				now += 50 * sim.Nanosecond
+				r.l2.Access(now, c, kind, a)
+			}
+		}
+	}
+	churn(2)
+	infoBefore, pendBefore := r.caps()
+	churn(10)
+	infoAfter, pendAfter := r.caps()
+	for i := range infoBefore {
+		if infoAfter[i] != infoBefore[i] {
+			t.Errorf("bank %d info table grew %d -> %d under steady churn",
+				i, infoBefore[i], infoAfter[i])
+		}
+		if pendAfter[i] != pendBefore[i] {
+			t.Errorf("bank %d pend table grew %d -> %d under steady churn",
+				i, pendBefore[i], pendAfter[i])
+		}
+	}
+	r.check(t)
+}
+
+// TestInfoSlotReuseUnderOwnershipReplacement: a line that is repeatedly
+// invalidated off-chip (ServeRemote exclusive deletes its record) and
+// refetched (serveMiss re-inserts it) must cycle through the dense
+// table without growing it — the retry traffic TSRF timeout recovery
+// generates looks exactly like this loop.
+func TestInfoSlotReuseUnderOwnershipReplacement(t *testing.T) {
+	r := newRig(t)
+	a := cache.Addr(0x40000)
+	b := r.l2.BankOf(a.Line())
+	now := sim.Time(0)
+	r.l2.Access(now, r.d[0], Read, a)
+	capBefore := b.info.Cap()
+	for i := 0; i < 10000; i++ {
+		now += 200 * sim.Nanosecond
+		onChip, _, done := r.l2.ServeRemote(now, a.Line(), true)
+		if !onChip {
+			t.Fatalf("iter %d: line vanished before remote invalidation", i)
+		}
+		if b.info.Ref(a.Line()) != nil {
+			t.Fatalf("iter %d: record survived exclusive remote service", i)
+		}
+		now = done + sim.Nanosecond
+		r.l2.Access(now, r.d[i%8], Read, a)
+		if b.info.Ref(a.Line()) == nil {
+			t.Fatalf("iter %d: refetch did not re-insert the record", i)
+		}
+	}
+	if got := b.info.Cap(); got != capBefore {
+		t.Errorf("info table grew %d -> %d across delete/re-insert churn", capBefore, got)
+	}
+	// pend is overwritten in place for the same line: exactly one entry.
+	if b.pend.Len() != 1 {
+		t.Errorf("pend entries = %d, want 1 (same-line blocks must overwrite)", b.pend.Len())
 	}
 	r.check(t)
 }

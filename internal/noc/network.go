@@ -64,14 +64,39 @@ func DefaultConfig() Config { return Config{BufferPool: 16, OQDepth: 8} }
 
 // router is one node's RT with its IQ and OQ.
 type router struct {
-	id   int
-	pool []*Packet // shared buffer pool (transit packets)
-	oq   []*Packet // locally injected, waiting
+	id int
+	// neigh caches Topology.Neighbors(id): arbitration consults it every
+	// cycle, and several Topology implementations build the slice fresh
+	// per call.
+	neigh []int
+	pool  []*Packet // shared buffer pool (transit packets)
+	oq    []*Packet // locally injected, waiting
 	// linkFree[i] is the cycle at which channel i is next available.
 	linkFree []int64
 
+	// Arbitration scratch, reused every cycle so the steady-state
+	// router loop performs no allocation.
+	taken []bool
+	order []int
+	keep  []*Packet
+
 	MaxPool uint64
 	Refused uint64 // injections deferred because transit had priority
+}
+
+// wheelBits sizes the arrival wheel: 1<<wheelBits cycles of lookahead.
+// A fault-free hop completes within LongCycles (10) cycles, and even
+// heavily-retransmitted hops stay far inside the horizon; anything
+// beyond it spills to the overflow list.
+const wheelBits = 8
+
+// wheelBucket is one slot of the arrival wheel: the cycle it currently
+// holds arrivals for plus the arrivals themselves. The backing array is
+// reused across wheel laps, so steady-state hop delivery allocates
+// nothing.
+type wheelBucket struct {
+	cycle int64
+	arr   []arrival
 }
 
 // Network is a cycle-driven simulation of the whole interconnect.
@@ -85,16 +110,28 @@ type Network struct {
 	cycle int64
 	seq   uint64
 
-	inFlight  int
-	arrivals  map[int64][]arrival // packets completing a hop at a cycle
+	inFlight int
+	// Hop completions are held in a ring-indexed bucket wheel: bucket
+	// cycle&mask holds the arrivals for that cycle. Step visits every
+	// cycle in order, so a bucket is always drained before its slot is
+	// needed for a cycle one lap ahead; the rare beyond-horizon insert
+	// lands in overflow, and the two are merged by arrival sequence so
+	// delivery order is identical to the old per-cycle append order.
+	wheel    []wheelBucket
+	overflow []arrival // arrivals scheduled past the wheel horizon
+	due      []arrival // per-cycle merge scratch, reused
+	arrSeq   uint64    // global arrival insertion sequence
+
 	Delivered []*Packet
 
 	flt *fault.Injector // nil when fault injection is off
 }
 
 type arrival struct {
-	pkt *Packet
-	at  int
+	pkt   *Packet
+	at    int
+	cycle int64 // arrival cycle (used by overflow draining)
+	seq   uint64
 }
 
 // NewNetwork builds the interconnect over a topology.
@@ -104,17 +141,20 @@ func NewNetwork(cfg Config, topo Topology, seed uint64) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{
-		cfg:      cfg,
-		topo:     topo,
-		next:     next,
-		hops:     hops,
-		rng:      sim.NewRNG(seed),
-		arrivals: make(map[int64][]arrival),
+		cfg:   cfg,
+		topo:  topo,
+		next:  next,
+		hops:  hops,
+		rng:   sim.NewRNG(seed),
+		wheel: make([]wheelBucket, 1<<wheelBits),
 	}
 	for i := 0; i < topo.Nodes(); i++ {
+		neigh := topo.Neighbors(i)
 		n.rts = append(n.rts, &router{
 			id:       i,
-			linkFree: make([]int64, len(topo.Neighbors(i))),
+			neigh:    neigh,
+			linkFree: make([]int64, len(neigh)),
+			taken:    make([]bool, len(neigh)),
 		})
 	}
 	return n, nil
@@ -145,11 +185,75 @@ func (n *Network) Inject(src, dst, prio int, long bool) *Packet {
 	return p
 }
 
+// schedule queues an arrival for cycle at: the wheel bucket when the
+// cycle is within the horizon and its slot is free (or already claimed
+// by the same cycle), the overflow list otherwise.
+//
+//piranha:hotpath
+func (n *Network) schedule(at int64, pkt *Packet, rcv int) {
+	n.arrSeq++
+	a := arrival{pkt: pkt, at: rcv, cycle: at, seq: n.arrSeq}
+	b := &n.wheel[at&int64(len(n.wheel)-1)]
+	if len(b.arr) == 0 {
+		b.cycle = at
+		b.arr = append(b.arr, a)
+		return
+	}
+	if b.cycle == at {
+		b.arr = append(b.arr, a)
+		return
+	}
+	n.overflow = append(n.overflow, a)
+}
+
+// drainDue collects this cycle's arrivals into n.due in insertion-seq
+// order, merging the wheel bucket with any overflow spill. Both sources
+// are individually seq-sorted (appends only), so a linear merge restores
+// the exact order the old per-cycle append list had.
+//
+//piranha:hotpath
+func (n *Network) drainDue() []arrival {
+	n.due = n.due[:0]
+	var bucket []arrival
+	b := &n.wheel[n.cycle&int64(len(n.wheel)-1)]
+	if len(b.arr) > 0 && b.cycle == n.cycle {
+		bucket = b.arr
+	}
+	if len(n.overflow) == 0 {
+		if bucket == nil {
+			return nil
+		}
+		n.due = append(n.due, bucket...)
+		b.arr = b.arr[:0]
+		return n.due
+	}
+	// Merge bucket with due overflow entries; keep the rest in place.
+	rest := n.overflow[:0]
+	i := 0
+	for _, a := range n.overflow {
+		if a.cycle != n.cycle {
+			rest = append(rest, a)
+			continue
+		}
+		for i < len(bucket) && bucket[i].seq < a.seq {
+			n.due = append(n.due, bucket[i])
+			i++
+		}
+		n.due = append(n.due, a)
+	}
+	n.due = append(n.due, bucket[i:]...)
+	n.overflow = rest
+	if bucket != nil {
+		b.arr = b.arr[:0]
+	}
+	return n.due
+}
+
 // Step advances the network one interconnect cycle.
 func (n *Network) Step() {
 	n.cycle++
 	// 1. Hop completions land in the receiving router's pool or IQ.
-	for _, a := range n.arrivals[n.cycle] {
+	for _, a := range n.drainDue() {
 		p := a.pkt
 		p.Hops++
 		if a.at == p.Dst {
@@ -164,7 +268,6 @@ func (n *Network) Step() {
 			rt.MaxPool = u
 		}
 	}
-	delete(n.arrivals, n.cycle)
 
 	// 2. Each router arbitrates its output channels: transit traffic
 	// first (by priority then age — the OQ accepts new packets only
@@ -176,19 +279,18 @@ func (n *Network) Step() {
 
 // arbitrate assigns packets to free output channels of one router.
 func (n *Network) arbitrate(rt *router) {
-	neigh := n.topo.Neighbors(rt.id)
-	taken := make([]bool, len(neigh))
+	neigh := rt.neigh
+	taken := rt.taken
 	for i, f := range rt.linkFree {
-		if f > n.cycle {
-			taken[i] = true
-		}
+		taken[i] = f > n.cycle
 	}
 
 	// Order transit packets by (priority+age) descending, then age.
-	order := make([]int, len(rt.pool))
-	for i := range order {
-		order[i] = i
+	order := rt.order[:0]
+	for i := range rt.pool {
+		order = append(order, i)
 	}
+	rt.order = order
 	eff := func(p *Packet) int { return p.Prio + p.age }
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0 && eff(rt.pool[order[j]]) > eff(rt.pool[order[j-1]]); j-- {
@@ -196,7 +298,7 @@ func (n *Network) arbitrate(rt *router) {
 		}
 	}
 
-	var remaining []*Packet
+	remaining := rt.keep[:0]
 	channelOf := func(target int) int {
 		for i, v := range neigh {
 			if v == target {
@@ -214,8 +316,7 @@ func (n *Network) arbitrate(rt *router) {
 			occ += int64(r) * p.cycles()
 		}
 		rt.linkFree[ch] = n.cycle + occ
-		at := n.cycle + occ
-		n.arrivals[at] = append(n.arrivals[at], arrival{pkt: p, at: neigh[ch]})
+		n.schedule(n.cycle+occ, p, neigh[ch])
 	}
 
 	for _, idx := range order {
@@ -262,6 +363,9 @@ func (n *Network) arbitrate(rt *router) {
 			remaining = append(remaining, p)
 		}
 	}
+	// Swap the survivor list into pool; the old pool array becomes next
+	// cycle's scratch.
+	rt.keep = rt.pool[:0]
 	rt.pool = remaining
 
 	// 3. Local injections only when transit traffic left room (the OQ
@@ -272,7 +376,9 @@ func (n *Network) arbitrate(rt *router) {
 			rt.oq[j], rt.oq[j-1] = rt.oq[j-1], rt.oq[j]
 		}
 	}
-	var oqLeft []*Packet
+	// Compact refused injections in place: writes trail reads, so the
+	// survivor prefix never clobbers an unvisited entry.
+	oqLeft := rt.oq[:0]
 	for _, p := range rt.oq {
 		sent := false
 		for _, hop := range n.next[rt.id][p.Dst] {

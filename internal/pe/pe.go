@@ -42,6 +42,7 @@ import (
 	"piranha/internal/directory"
 	"piranha/internal/fault"
 	"piranha/internal/l2"
+	"piranha/internal/linemap"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
 )
@@ -68,28 +69,59 @@ const (
 // FlatNetwork is a fixed-latency, per-node-egress-bandwidth network model
 // used when full NoC simulation is not needed; the latency is calibrated
 // so end-to-end remote accesses match Table 1 (120 ns clean, 180 ns
-// dirty).
+// dirty). Egress pools are a slice indexed directly by NodeID — Send is
+// on the critical path of every inter-node message, and the previous
+// lazy map lookup (with its fmt.Sprintf pool naming) was its dominant
+// cost.
 type FlatNetwork struct {
 	OneWay sim.Time
-	// egress models each node's four outbound channels.
-	egress map[NodeID]*sim.Pool
+	// egress models each node's four outbound channels, indexed by NodeID.
+	egress []*sim.Pool
 	clock  sim.Clock
 }
 
 // NewFlatNetwork returns a flat network with the given one-way latency.
+// Egress pools are created on first use; Presize avoids even that.
 func NewFlatNetwork(oneWay sim.Time) *FlatNetwork {
-	return &FlatNetwork{OneWay: oneWay, egress: make(map[NodeID]*sim.Pool), clock: sim.MHz(500)}
+	return &FlatNetwork{OneWay: oneWay, clock: sim.MHz(500)}
+}
+
+// NewFlatNetworkN returns a flat network with the given one-way latency
+// and all egress pools for nodes [0, nodes) pre-allocated, so Send never
+// takes its slow path.
+func NewFlatNetworkN(oneWay sim.Time, nodes int) *FlatNetwork {
+	n := NewFlatNetwork(oneWay)
+	n.Presize(nodes)
+	return n
+}
+
+// Presize ensures egress pools exist for all nodes in [0, nodes).
+func (n *FlatNetwork) Presize(nodes int) {
+	for len(n.egress) < nodes {
+		id := NodeID(len(n.egress))
+		n.egress = append(n.egress, sim.NewPool(fmt.Sprintf("node%d-out", id), 4))
+	}
+}
+
+// growEgress is Send's slow path: it extends the egress slice through
+// from, allocating the missing pools.
+func (n *FlatNetwork) growEgress(from NodeID) *sim.Pool {
+	n.Presize(int(from) + 1)
+	return n.egress[from]
 }
 
 // Send implements Network.
+//
+//piranha:hotpath
 func (n *FlatNetwork) Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.Time {
 	if from == to {
 		return now
 	}
-	p := n.egress[from]
-	if p == nil {
-		p = sim.NewPool(fmt.Sprintf("node%d-out", from), 4)
-		n.egress[from] = p
+	var p *sim.Pool
+	if int(from) < len(n.egress) {
+		p = n.egress[from]
+	} else {
+		p = n.growEgress(from)
 	}
 	// Channel occupancy: 64 data bits per interconnect cycle.
 	cycles := int64((bytes*8 + 63) / 64)
@@ -200,9 +232,12 @@ type node struct {
 	l2     *l2.L2
 	home   *Engine
 	remote *Engine
-	// dir holds the encoded 44-bit directory entries for home lines
-	// (stored in the ECC bits of memory; absent means Uncached).
-	dir map[cache.LineAddr]uint64
+	// dir holds the encoded 44-bit directory entries for this node's
+	// home lines (absent means Uncached) in a dense per-home-node table
+	// keyed by line address — the host-side analogue of Piranha storing
+	// the directory in the home memory's spare ECC bits (§2.5.2): flat
+	// index-addressed words, not pointer-boxed map values.
+	dir *linemap.Map[uint64]
 }
 
 // Fabric is the multi-node coherence domain: all nodes' engines, the
@@ -231,7 +266,7 @@ func NewFabric(cfg Config, net Network) *Fabric {
 			id:     NodeID(i),
 			home:   newEngine(fmt.Sprintf("HE%d", i), cfg.TSRFEntries, cfg.HomeOccupancy),
 			remote: newEngine(fmt.Sprintf("RE%d", i), cfg.TSRFEntries, cfg.RemoteOccupancy),
-			dir:    make(map[cache.LineAddr]uint64),
+			dir:    linemap.New[uint64](1024),
 		})
 	}
 	return f
@@ -365,19 +400,31 @@ func (f *Fabric) Engines(id NodeID) (he, re *Engine) {
 }
 
 // dirEntry decodes a home line's directory entry.
+//
+//piranha:hotpath
 func (f *Fabric) dirEntry(h *node, line cache.LineAddr) directory.Entry {
-	return directory.Decode(f.dcfg, h.dir[line])
+	bits, _ := h.dir.Get(line)
+	return directory.Decode(f.dcfg, bits)
 }
 
-// setDir encodes and stores a directory entry.
+// setDir encodes and stores a directory entry. A cleared entry frees
+// its table slot (absent means Uncached), so the table tracks only the
+// lines that are actually cached somewhere.
+//
+//piranha:hotpath
 func (f *Fabric) setDir(h *node, line cache.LineAddr, e directory.Entry) {
 	bits, err := directory.Encode(f.dcfg, e)
 	if err != nil {
-		panic("pe: " + err.Error())
+		badDirEntry(err)
 	}
 	if bits == 0 {
-		delete(h.dir, line)
+		h.dir.Delete(line)
 		return
 	}
-	h.dir[line] = bits
+	h.dir.Put(line, bits)
+}
+
+// badDirEntry keeps setDir's panic formatting off the hot path.
+func badDirEntry(err error) {
+	panic("pe: " + err.Error())
 }

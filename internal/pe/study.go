@@ -26,6 +26,39 @@ func (f *Fabric) InvalidateStudy(k int) (uint64, sim.Time) {
 	return f.InvalMsgs, ack
 }
 
+// SeedDirectory installs count synthetic shared-line entries in node
+// 0's home directory (each shared by node 1) and returns the lines, in
+// insertion order. It exists so cmd/piranha-bench can warm the dense
+// directory table before timing DirectoryDispatch.
+func (f *Fabric) SeedDirectory(count int) []cache.LineAddr {
+	h := f.nodes[0]
+	lines := make([]cache.LineAddr, count)
+	for i := range lines {
+		line := cache.LineAddr(i)
+		lines[i] = line
+		f.setDir(h, line, directory.AddSharer(f.dcfg, directory.Clear(), 1))
+	}
+	return lines
+}
+
+// DirectoryDispatch performs, for each line, the directory half of a
+// home-engine dispatch: decode the stored entry, fold in a sharer, and
+// encode it back. Against a table warmed by SeedDirectory every store
+// is an overwrite, so the loop is the steady-state directory path —
+// cmd/piranha-bench asserts it allocates nothing. Returns the number of
+// entries touched so the work cannot be optimized away.
+func (f *Fabric) DirectoryDispatch(lines []cache.LineAddr) int {
+	h := f.nodes[0]
+	touched := 0
+	for _, line := range lines {
+		e := f.dirEntry(h, line)
+		e = directory.AddSharer(f.dcfg, e, 1)
+		f.setDir(h, line, e)
+		touched++
+	}
+	return touched
+}
+
 // ContentionStudy drives a conflict-heavy transaction mix (alternating
 // exclusive requests to a few hot home-local lines, so three-hop
 // forwards and directory conflicts are frequent) against a fabric with

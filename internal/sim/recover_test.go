@@ -127,3 +127,29 @@ func TestWatchdogSilentUnderProgress(t *testing.T) {
 		t.Fatal("watchdog fired after Stop")
 	}
 }
+
+// TestWatchdogStopEmptiesQueue: Stop must cancel the armed tick, not
+// merely flag it dead — a stopped watchdog over a drained run leaves
+// the queue empty instead of one pending no-op tick per Stop.
+func TestWatchdogStopEmptiesQueue(t *testing.T) {
+	eng := NewEngine()
+	w := NewWatchdog(eng, 100, 2, func() uint64 { return 0 }, func(string) {})
+	if eng.Pending() != 1 {
+		t.Fatalf("pending = %d after arming, want 1", eng.Pending())
+	}
+	w.Stop()
+	if eng.Pending() != 0 {
+		t.Fatalf("pending = %d after Stop, want 0 (tick not cancelled)", eng.Pending())
+	}
+	// Stop mid-run: let a couple of ticks fire first, then disarm.
+	eng2 := NewEngine()
+	w2 := NewWatchdog(eng2, 100, 10, func() uint64 { return 0 }, func(string) {})
+	eng2.RunUntil(250)
+	if eng2.Pending() == 0 {
+		t.Fatal("watchdog stopped rescheduling on its own")
+	}
+	w2.Stop()
+	if eng2.Pending() != 0 {
+		t.Fatalf("pending = %d after mid-run Stop, want 0", eng2.Pending())
+	}
+}

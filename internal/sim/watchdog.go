@@ -28,6 +28,7 @@ type Watchdog struct {
 	primed  bool
 	idle    int
 	stopped bool
+	pending EventID // the armed tick, cancelled by Stop
 }
 
 // NewWatchdog arms a watchdog on e. progress must be monotone while the
@@ -51,13 +52,18 @@ func NewWatchdog(e *Engine, interval Time, maxIdle int, progress func() uint64, 
 		progress: progress,
 		fail:     fail,
 	}
-	e.After(interval, w.tick)
+	w.pending = e.After(interval, w.tick)
 	return w
 }
 
-// Stop disarms the watchdog; the pending tick returns without
-// rescheduling.
-func (w *Watchdog) Stop() { w.stopped = true }
+// Stop disarms the watchdog and cancels its pending tick, so a stopped
+// watchdog no longer keeps the event queue alive (a run that stops its
+// watchdog and drains its real work leaves an empty queue, not a tail
+// of dead ticks).
+func (w *Watchdog) Stop() {
+	w.stopped = true
+	w.eng.Cancel(w.pending)
+}
 
 func (w *Watchdog) tick() {
 	if w.stopped {
@@ -77,5 +83,5 @@ func (w *Watchdog) tick() {
 			return
 		}
 	}
-	w.eng.After(w.interval, w.tick)
+	w.pending = w.eng.After(w.interval, w.tick)
 }

@@ -23,3 +23,8 @@ func Keys[K cmp.Ordered, V any](m map[K]V) []K {
 	slices.Sort(keys)
 	return keys
 }
+
+// Sort sorts s in place in ascending order. It exists so packages that
+// produce key slices from non-map tables (internal/linemap) deterministify
+// them through the same package the analyzer whitelists.
+func Sort[K cmp.Ordered](s []K) { slices.Sort(s) }

@@ -94,13 +94,16 @@ func (s *Series) AddBusy(start, end sim.Time) { s.addSpan(start, end, true) }
 func (s *Series) AddStall(start, end sim.Time) { s.addSpan(start, end, false) }
 
 // AddAccess records one L1 probe at the given instant (an instant on a
-// bin edge belongs to the later bin).
+// bin edge belongs to the later bin). Instants before the origin are
+// dropped: they belong to the warm-up phase, and folding them into bin
+// 0 would overcount the first measured window — unlike spans, an
+// instant has no measurable overlap with the measured region.
 func (s *Series) AddAccess(at sim.Time, miss bool) {
 	if s == nil {
 		return
 	}
 	if at < s.Origin {
-		at = s.Origin
+		return
 	}
 	bin := s.ensure(int((at - s.Origin) / s.Interval))
 	bin.Accesses++
@@ -110,13 +113,14 @@ func (s *Series) AddAccess(at sim.Time, miss bool) {
 }
 
 // AddRecovery records one TSRF timeout recovery completing at the given
-// instant, with the latency the transaction spent wedged.
+// instant, with the latency the transaction spent wedged. Pre-origin
+// instants are dropped, as in AddAccess.
 func (s *Series) AddRecovery(at, latency sim.Time) {
 	if s == nil {
 		return
 	}
 	if at < s.Origin {
-		at = s.Origin
+		return
 	}
 	bin := s.ensure(int((at - s.Origin) / s.Interval))
 	bin.Recoveries++

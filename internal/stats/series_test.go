@@ -85,6 +85,36 @@ func TestSeriesReset(t *testing.T) {
 	}
 }
 
+// TestSeriesDropsPreOriginInstants pins the warm/measure boundary
+// semantics: an access or recovery instant from before the origin is
+// warm-up activity and must be dropped, not folded into bin 0 (the old
+// clamp overcounted the first measured interval).
+func TestSeriesDropsPreOriginInstants(t *testing.T) {
+	s := NewSeries(100)
+	s.Reset(1000) // measurement starts at t=1000
+
+	// In-flight warm-up events completing with pre-origin timestamps.
+	s.AddAccess(999, true)
+	s.AddRecovery(500, 250)
+	if s.Len() != 0 {
+		t.Fatalf("pre-origin instants created %d bins, want 0: %+v", s.Len(), s.Bins)
+	}
+
+	// The first measured instant lands in bin 0 untainted.
+	s.AddAccess(1000, false)
+	s.AddRecovery(1050, 30)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	b := s.Bins[0]
+	if b.Accesses != 1 || b.Misses != 0 {
+		t.Fatalf("bin 0 accesses/misses = %d/%d, want 1/0", b.Accesses, b.Misses)
+	}
+	if b.Recoveries != 1 || b.RecoveryPs != 30 {
+		t.Fatalf("bin 0 recoveries/ps = %d/%d, want 1/30", b.Recoveries, b.RecoveryPs)
+	}
+}
+
 func TestSetReset(t *testing.T) {
 	s := NewSet()
 	s.Get("a").Add(3)

@@ -124,7 +124,13 @@ func (h *Histogram) Mean() float64 {
 // String renders the histogram with proportional bars.
 func (h *Histogram) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: n=%d mean=%.1f min=%d max=%d\n", h.Name, h.Count, h.Mean(), h.Min, h.Max)
+	mn, mx := h.Min, h.Max
+	if h.Count == 0 {
+		// Min still holds the fresh-histogram sentinel (maxint64); show
+		// zeros rather than leaking it into the rendering.
+		mn, mx = 0, 0
+	}
+	fmt.Fprintf(&b, "%s: n=%d mean=%.1f min=%d max=%d\n", h.Name, h.Count, h.Mean(), mn, mx)
 	var peak uint64
 	for _, v := range h.Buckets {
 		if v > peak {

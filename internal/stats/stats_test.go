@@ -53,6 +53,70 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+// TestZeroInputEdges sweeps the zero/empty-input corners of the
+// package's reducers and renderers in one table: none may panic, divide
+// by zero, or leak an internal sentinel into output.
+func TestZeroInputEdges(t *testing.T) {
+	cases := []struct {
+		name  string
+		check func(t *testing.T)
+	}{
+		{"histogram mean empty", func(t *testing.T) {
+			h := NewHistogram("e", 10)
+			if m := h.Mean(); m != 0 {
+				t.Fatalf("empty Mean = %v, want 0", m)
+			}
+		}},
+		{"histogram string empty", func(t *testing.T) {
+			s := NewHistogram("e", 10).String()
+			if !strings.Contains(s, "n=0 mean=0.0 min=0 max=0") {
+				t.Fatalf("empty histogram renders %q; the Min sentinel leaked", s)
+			}
+		}},
+		{"breakdown normalized zero ref", func(t *testing.T) {
+			b := Breakdown{CPUBusy: 100}
+			busy, hit, miss, other := b.Normalized(0)
+			if busy != 0 || hit != 0 || miss != 0 || other != 0 {
+				t.Fatalf("Normalized(0) = %v %v %v %v, want zeros", busy, hit, miss, other)
+			}
+		}},
+		{"miss breakdown empty", func(t *testing.T) {
+			hit, fwd, miss := MissBreakdown{}.Fractions()
+			if hit != 0 || fwd != 0 || miss != 0 {
+				t.Fatalf("empty Fractions = %v %v %v", hit, fwd, miss)
+			}
+		}},
+		{"sparkline all zero", func(t *testing.T) {
+			if got := Sparkline([]float64{0, 0, 0}); got != "   " {
+				t.Fatalf("all-zero sparkline = %q, want spaces", got)
+			}
+		}},
+		{"series fracs all zero", func(t *testing.T) {
+			s := NewSeries(100)
+			s.AddBusy(0, 0)  // records nothing
+			s.AddAccess(50, false)
+			for i, f := range s.BusyFracs() {
+				if f != 0 {
+					t.Fatalf("BusyFracs[%d] = %v on zero busy+stall", i, f)
+				}
+			}
+			for i, r := range s.MissRates() {
+				if r != 0 {
+					t.Fatalf("MissRates[%d] = %v with zero misses", i, r)
+				}
+			}
+		}},
+		{"empty series string", func(t *testing.T) {
+			if out := NewSeries(100).String(); out != "" {
+				t.Fatalf("empty series renders %q, want empty", out)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, tc.check)
+	}
+}
+
 func TestHistogramBucketsProperty(t *testing.T) {
 	f := func(vals []int16) bool {
 		h := NewHistogram("p", 0, 50, 500)
