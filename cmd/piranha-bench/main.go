@@ -1,11 +1,16 @@
 // Command piranha-bench measures the simulator's host-side performance
-// and emits a versioned JSON report (BENCH_5.json) so the repository
+// and emits a versioned JSON report (BENCH_6.json) so the repository
 // carries a committed benchmark trajectory. Two families of benchmarks
 // run:
 //
 //   - End-to-end: full OLTP and DSS experiments at P1 and P8, reporting
 //     host ns per simulated transaction — the number that tells you how
-//     long a paper-scale figure run costs on this machine.
+//     long a paper-scale figure run costs on this machine. The P8 rows
+//     repeat under two-phase intra-run parallelism (-jintra 2, 4, and
+//     GOMAXPROCS phase workers) with a speedup column against the
+//     serial engine; the harness fails if a parallel row's simulated
+//     Result differs from the serial row's by even one counter. A P1
+//     jintra row pins the automatic serial fallback.
 //   - Micro: the three memory-system hot paths the dense-state refactor
 //     targets (L2 line lookup, protocol-engine directory dispatch, noc
 //     hop delivery). These must be allocation-free in steady state; the
@@ -39,7 +44,7 @@ import (
 // trajectory index (BENCH_<benchVersion>.json).
 const (
 	schemaVersion = 1
-	benchVersion  = 5
+	benchVersion  = 6
 )
 
 // Result is one benchmark row.
@@ -53,17 +58,28 @@ type Result struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	// NsPerSimTx is host time per simulated transaction (end-to-end only).
 	NsPerSimTx float64 `json:"ns_per_sim_tx,omitempty"`
+	// IntraWorkers is the phase-worker count for jintra end-to-end rows
+	// (0 = serial engine).
+	IntraWorkers int `json:"intra_workers,omitempty"`
+	// SpeedupVsSerial is NsPerSimTx(serial) / NsPerSimTx(this row), set
+	// only on jintra rows.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
-// Report is the whole BENCH_5.json document.
+// Report is the whole BENCH_6.json document.
 type Report struct {
-	SchemaVersion int      `json:"schema_version"`
-	BenchVersion  int      `json:"bench_version"`
-	Quick         bool     `json:"quick"`
-	GoVersion     string   `json:"go_version"`
-	GoOS          string   `json:"go_os"`
-	GoArch        string   `json:"go_arch"`
-	Suite         []Result `json:"suite"`
+	SchemaVersion int    `json:"schema_version"`
+	BenchVersion  int    `json:"bench_version"`
+	Quick         bool   `json:"quick"`
+	GoVersion     string `json:"go_version"`
+	GoOS          string `json:"go_os"`
+	GoArch        string `json:"go_arch"`
+	// NumCPU is the host's logical CPU count: the ceiling on any jintra
+	// row's speedup. On a single-CPU host the jintra rows record the
+	// two-phase machinery's overhead, not a speedup.
+	NumCPU int      `json:"num_cpu"`
+	Notes  string   `json:"notes,omitempty"`
+	Suite  []Result `json:"suite"`
 }
 
 // measure times iters calls of fn, each covering ops operations, after
@@ -96,23 +112,27 @@ func measure(name, kind string, warm, iters, ops int, fn func()) Result {
 }
 
 // endToEnd runs one full experiment per iteration and reports host ns
-// per simulated transaction.
-func endToEnd(name string, kind core.WorkloadKind, cpus int, warmTx, measureTx uint64, iters int) Result {
+// per simulated transaction plus the (deterministic) simulated Result,
+// so jintra rows can be checked bit-identical against their serial row.
+func endToEnd(name string, kind core.WorkloadKind, cpus, intraWorkers int, warmTx, measureTx uint64, iters int) (Result, core.Result) {
 	exp := core.Experiment{
-		Name:      name,
-		Sys:       core.SystemConfig{Chips: 1, Chip: core.PiranhaChip(cpus)},
-		Work:      core.WorkloadSpec{Kind: kind},
-		WarmTx:    warmTx,
-		MeasureTx: measureTx,
+		Name:         name,
+		Sys:          core.SystemConfig{Chips: 1, Chip: core.PiranhaChip(cpus)},
+		Work:         core.WorkloadSpec{Kind: kind},
+		WarmTx:       warmTx,
+		MeasureTx:    measureTx,
+		IntraWorkers: intraWorkers,
 	}
+	var last core.Result
 	r := measure(name, "end-to-end", 1, iters, 1, func() {
-		res := core.Run(exp)
-		if res.Tx != measureTx {
-			fatalf("%s: measured %d transactions, want %d", name, res.Tx, measureTx)
+		last = core.Run(exp)
+		if last.Tx != measureTx {
+			fatalf("%s: measured %d transactions, want %d", name, last.Tx, measureTx)
 		}
 	})
 	r.NsPerSimTx = r.NsPerOp / float64(measureTx)
-	return r
+	r.IntraWorkers = intraWorkers
+	return r, last
 }
 
 // fakeMem is the fixed-latency memory stub behind the L2 micro rig.
@@ -214,7 +234,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller transaction counts and iteration budgets (CI smoke)")
-	out := flag.String("o", "BENCH_5.json", "output report path")
+	out := flag.String("o", "BENCH_6.json", "output report path")
 	baseline := flag.String("baseline", "", "compare micro allocs/op against this committed report (fail on >10% regression)")
 	flag.Parse()
 
@@ -232,6 +252,10 @@ func main() {
 		GoVersion:     runtime.Version(),
 		GoOS:          runtime.GOOS,
 		GoArch:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+	}
+	if rep.NumCPU < 2 {
+		rep.Notes = "single-CPU host: jintra rows verify byte-identity and record the two-phase machinery's overhead; speedup requires NumCPU >= phase workers"
 	}
 	add := func(r Result) {
 		rep.Suite = append(rep.Suite, r)
@@ -239,14 +263,46 @@ func main() {
 		if r.NsPerSimTx > 0 {
 			extra = fmt.Sprintf("  %12.0f ns/sim-tx", r.NsPerSimTx)
 		}
+		if r.SpeedupVsSerial > 0 {
+			extra += fmt.Sprintf("  %5.2fx vs serial", r.SpeedupVsSerial)
+		}
 		fmt.Printf("%-22s %12.1f ns/op %10.3f allocs/op %12.1f B/op%s\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, extra)
 	}
+	// jintra repeats a serial end-to-end row under two-phase parallel
+	// execution, records the speedup, and fails loudly if the simulated
+	// Result moved by even one counter — the byte-identity contract,
+	// enforced on every bench run rather than only in the test suite.
+	jintra := func(serial Result, serialRes core.Result, kind core.WorkloadKind, cpus, workers int, tag string) {
+		name := serial.Name + "/jintra" + tag
+		r, res := endToEnd(name, kind, cpus, workers, warmTx, measureTx, e2eIters)
+		res.Name = serialRes.Name // rows differ by name alone; counters may not
+		if res != serialRes {
+			fatalf("%s: simulated result diverged from serial row %s", name, serial.Name)
+		}
+		r.SpeedupVsSerial = serial.NsPerSimTx / r.NsPerSimTx
+		add(r)
+	}
 
-	add(endToEnd("oltp/p1", core.OLTP, 1, warmTx, measureTx, e2eIters))
-	add(endToEnd("oltp/p8", core.OLTP, 8, warmTx, measureTx, e2eIters))
-	add(endToEnd("dss/p1", core.DSS, 1, warmTx, measureTx, e2eIters))
-	add(endToEnd("dss/p8", core.DSS, 8, warmTx, measureTx, e2eIters))
+	oltp1, oltp1Res := endToEnd("oltp/p1", core.OLTP, 1, 0, warmTx, measureTx, e2eIters)
+	add(oltp1)
+	oltp8, oltp8Res := endToEnd("oltp/p8", core.OLTP, 8, 0, warmTx, measureTx, e2eIters)
+	add(oltp8)
+	dss1, _ := endToEnd("dss/p1", core.DSS, 1, 0, warmTx, measureTx, e2eIters)
+	add(dss1)
+	dss8, dss8Res := endToEnd("dss/p8", core.DSS, 8, 0, warmTx, measureTx, e2eIters)
+	add(dss8)
+
+	// P8 rows at 2, 4, and GOMAXPROCS phase workers (tagged "max" so the
+	// report's row-name set is stable across machines), plus one P1 row
+	// pinning the automatic serial fallback.
+	jintra(oltp8, oltp8Res, core.OLTP, 8, 2, "2")
+	jintra(oltp8, oltp8Res, core.OLTP, 8, 4, "4")
+	jintra(oltp8, oltp8Res, core.OLTP, 8, runtime.GOMAXPROCS(0), "max")
+	jintra(dss8, dss8Res, core.DSS, 8, 2, "2")
+	jintra(dss8, dss8Res, core.DSS, 8, 4, "4")
+	jintra(oltp1, oltp1Res, core.OLTP, 1, 4, "4")
+
 	add(l2LookupBench(microIters))
 	add(peDirDispatchBench(microIters))
 	add(nocHopBench(microIters))

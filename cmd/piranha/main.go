@@ -146,6 +146,7 @@ func main() {
 		tx        = flag.Uint64("tx", 200, "measured transactions")
 		seed      = flag.Uint64("seed", 0, "workload seed (0 = default)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = one per CPU, 1 = serial)")
+		jintra    = flag.Int("jintra", 1, "phase workers per simulation (two-phase partitioned execution; output is byte-identical at any setting)")
 		verbose   = flag.Bool("v", false, "print full statistics")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON file covering all runs")
 		jsonOut   = flag.Bool("json", false, "print results as versioned JSON, one object per line")
@@ -203,13 +204,14 @@ func main() {
 				name = c + "/" + w
 			}
 			e := core.Experiment{
-				Name:      name,
-				Sys:       sys,
-				Work:      core.WorkloadSpec{Kind: kind},
-				WarmTx:    *warm,
-				MeasureTx: *tx,
-				Seed:      *seed,
-				Intervals: sim.Time(intervals.Nanoseconds()) * sim.Nanosecond,
+				Name:         name,
+				Sys:          sys,
+				Work:         core.WorkloadSpec{Kind: kind},
+				WarmTx:       *warm,
+				MeasureTx:    *tx,
+				Seed:         *seed,
+				Intervals:    sim.Time(intervals.Nanoseconds()) * sim.Nanosecond,
+				IntraWorkers: *jintra,
 			}
 			if *traceOut != "" {
 				e.Trace = trace.New(0)

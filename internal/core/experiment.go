@@ -57,6 +57,14 @@ type Experiment struct {
 	// FaultEscalate, when non-nil, handles uncorrectable memory errors
 	// (ras mirroring failover). Only consulted when Faults is enabled.
 	FaultEscalate func(now sim.Time) (extra sim.Time, recovered bool)
+	// IntraWorkers enables two-phase parallel execution *within* this
+	// run on that many phase workers (<= 1 is the serial engine). The
+	// run's output is byte-identical either way: the timing model stays
+	// a single partition whose event history never changes, while
+	// workload op generation and process construction move onto the
+	// workers. Runs on P1-sized machines or with zero lookahead fall
+	// back to serial automatically.
+	IntraWorkers int
 }
 
 // Result carries the measurements an experiment produces.
@@ -134,6 +142,7 @@ func Run(e Experiment) Result {
 	// attaches nothing and schedules nothing: the run is byte-identical
 	// to one with no fault plan at all.
 	var inj *fault.Injector
+	var wd *sim.Watchdog
 	if e.Faults.Enabled() {
 		inj = fault.New(e.Faults, seed)
 		inj.Escalate = e.FaultEscalate
@@ -157,7 +166,7 @@ func Run(e Experiment) Result {
 		// is retired instructions plus committed transactions — not
 		// transactions alone, which arrive in coarse round-robin waves
 		// that can legitimately outlast several watchdog intervals.
-		sim.NewWatchdog(sys.Engine, 8*inj.Plan().SweepPeriod, 4,
+		wd = sim.NewWatchdog(sys.Engine, 8*inj.Plan().SweepPeriod, 4,
 			func() uint64 {
 				n := sys.Kern.Tx
 				for _, c := range sys.Cores {
@@ -171,7 +180,7 @@ func Run(e Experiment) Result {
 	rng := sim.NewRNG(seed)
 
 	var procsPerCPU int
-	var spawn func(cpuID, i int)
+	var newStream func(id int) kernel.Stream
 	switch e.Work.Kind {
 	case DSS, WEB:
 		cfg := e.Work.DSS
@@ -184,9 +193,7 @@ func Run(e Experiment) Result {
 		}
 		procsPerCPU = cfg.ProcsPerCPU
 		w := workload.NewDSS(cfg, lay, ncpu*procsPerCPU)
-		spawn = func(cpuID, i int) {
-			sys.Kern.Spawn(cpuID, w.NewProcess(), rng.Uint64())
-		}
+		newStream = func(id int) kernel.Stream { return w.Process(id) }
 	case TPCC:
 		cfg := e.Work.OLTP
 		if cfg.InstrPerTx == 0 {
@@ -194,9 +201,7 @@ func Run(e Experiment) Result {
 		}
 		procsPerCPU = cfg.ProcsPerCPU
 		w := workload.NewOLTP(cfg, lay, ncpu*procsPerCPU)
-		spawn = func(cpuID, i int) {
-			sys.Kern.Spawn(cpuID, w.NewProcess(), rng.Uint64())
-		}
+		newStream = func(id int) kernel.Stream { return w.Process(id) }
 	default: // OLTP
 		cfg := e.Work.OLTP
 		if cfg.InstrPerTx == 0 {
@@ -204,13 +209,28 @@ func Run(e Experiment) Result {
 		}
 		procsPerCPU = cfg.ProcsPerCPU
 		w := workload.NewOLTP(cfg, lay, ncpu*procsPerCPU)
-		spawn = func(cpuID, i int) {
-			sys.Kern.Spawn(cpuID, w.NewProcess(), rng.Uint64())
-		}
+		newStream = func(id int) kernel.Stream { return w.Process(id) }
 	}
-	for c := 0; c < ncpu; c++ {
-		for p := 0; p < procsPerCPU; p++ {
-			spawn(c, p)
+
+	// Intra-run parallelism: two-phase partitioned execution moves
+	// process construction and op generation onto phase workers while the
+	// timing model keeps its exact serial event history. P1-sized
+	// machines and zero-lookahead systems fall back to the serial engine.
+	runTx := sys.Kern.RunTx
+	if w := e.IntraWorkers; w > 1 && ncpu >= 2 && sys.Lookahead() > 0 {
+		par := newIntraRun(sys, w, procsPerCPU, newStream, rng)
+		defer par.Close()
+		if wd != nil {
+			wd.SetDiagnostic(par.Diagnostic)
+		}
+		runTx = par.RunTx
+	} else {
+		id := 0
+		for c := 0; c < ncpu; c++ {
+			for p := 0; p < procsPerCPU; p++ {
+				sys.Kern.Spawn(c, newStream(id), rng.Uint64())
+				id++
+			}
 		}
 	}
 
@@ -218,7 +238,7 @@ func Run(e Experiment) Result {
 	// counters and measure (the paper: "500 transactions after a
 	// warm-up period").
 	if e.WarmTx > 0 {
-		sys.Kern.RunTx(e.WarmTx)
+		runTx(e.WarmTx)
 	}
 	sys.ResetStats()
 	// The trace and series cover exactly the measured phase; Reset
@@ -229,7 +249,7 @@ func Run(e Experiment) Result {
 	e.Trace.Reset()
 	series.Reset(sys.Engine.Now())
 	inj.ResetStats()
-	elapsed := sys.Kern.RunTx(e.WarmTx + e.MeasureTx)
+	elapsed := runTx(e.WarmTx + e.MeasureTx)
 	if inj != nil && sys.Kern.Tx < e.WarmTx+e.MeasureTx {
 		// RunTx returned with the queue drained short of the target: the
 		// fault campaign wedged the machine in a way even the recovery

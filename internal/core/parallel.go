@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"piranha/internal/cpu"
+	"piranha/internal/kernel"
+	"piranha/internal/sim"
+)
+
+// Intra-run parallelism. The memory system is synchronous — a core's
+// access walks L1 -> ICS -> L2 -> memory as nested calls inside one
+// dispatch event — so the timing model itself stays a single partition
+// (partition 0) whose event history is bit-identical to a serial run.
+// What moves onto the phase workers is everything timing-independent:
+//
+//   - per-process construction (the Zipf tables dominate setup cost),
+//   - workload op generation, pre-computed into per-process buffers
+//     during the compute phase and handed to the kernel during the
+//     commit phase.
+//
+// A process's op stream is a pure function of its own RNG (the kernel's
+// dispatch loop passes the process RNG only to Stream.Next), so a
+// generator partition owning that RNG reproduces the serial sequence
+// exactly, no matter when — relative to simulated time — the ops are
+// produced. The buffers therefore make the parallel run byte-identical
+// by construction: partition 0 consumes the same ops at the same events,
+// and nothing is ever scheduled onto its engine from another partition.
+
+// bufStream interposes a refillable FIFO between the kernel and a
+// workload stream. The kernel-facing Next ignores the kernel's RNG; the
+// generator side owns a clone seeded identically, so the op sequence is
+// the one the serial run would draw.
+type bufStream struct {
+	inner kernel.Stream
+	rng   *sim.RNG
+	buf   []cpu.Op
+	head  int
+	// req is the op count requested from the generator for the epoch in
+	// flight: written at commit, read by the owning generator partition
+	// during the next compute phase (the phase barrier orders the two).
+	req int
+	// batch is the generator's staging buffer, merged at commit.
+	batch []cpu.Op
+}
+
+// Next implements kernel.Stream from the buffer. Underflow means the
+// refill watermark was violated — a scheduling bug, never a workload
+// condition — so it fails loudly rather than silently generating from
+// the wrong goroutine.
+func (b *bufStream) Next(_ *sim.RNG) cpu.Op {
+	if b.head >= len(b.buf) {
+		panic("core: intra-parallel op buffer underflow (refill watermark violated)")
+	}
+	op := b.buf[b.head]
+	b.head++
+	return op
+}
+
+// buffered returns the ops available to the kernel.
+func (b *bufStream) buffered() int { return len(b.buf) - b.head }
+
+// fill generates until at least n ops are staged (whole transactions:
+// the inner stream's own queue granularity rides along invisibly).
+func (b *bufStream) fill(n int) {
+	for len(b.batch) < n {
+		b.batch = append(b.batch, b.inner.Next(b.rng))
+	}
+}
+
+// generate runs on a phase worker: produce what the last commit requested.
+func (b *bufStream) generate() {
+	if b.req > 0 {
+		b.fill(b.req)
+	}
+}
+
+// commit runs single-threaded in the commit phase: compact the consumed
+// prefix, append the generated batch, and compute the next request so
+// the buffer converges back to target.
+func (b *bufStream) commit(target int) {
+	if b.head > 0 {
+		b.buf = append(b.buf[:0], b.buf[b.head:]...)
+		b.head = 0
+	}
+	b.buf = append(b.buf, b.batch...)
+	b.batch = b.batch[:0]
+	b.req = target - len(b.buf)
+	if b.req < 0 {
+		b.req = 0
+	}
+}
+
+// intraRun owns one experiment's two-phase execution state.
+type intraRun struct {
+	pe    *sim.ParallelEngine
+	kern  *kernel.Kernel
+	procs []*bufStream
+}
+
+// newIntraRun partitions the run: partition 0 adopts the system engine,
+// and one generator partition per worker owns an interleaved slice of
+// the process streams. It draws seeds, builds processes on the workers,
+// pre-fills the op buffers, and spawns everything in the serial order —
+// afterwards the caller just swaps RunTx for intraRun.RunTx.
+func newIntraRun(sys *System, workers, procsPerCPU int, newStream func(id int) kernel.Stream, rng *sim.RNG) *intraRun {
+	ncpu := sys.TotalCPUs()
+	n := ncpu * procsPerCPU
+
+	// Epoch window: the hardware lookahead (minimum ICS/link/noc latency)
+	// lower-bounds any sound window. Op generation has unbounded
+	// lookahead — it depends on no other partition's state — so the
+	// window is raised to a few scheduler quanta to amortize the phase
+	// barriers; partitions that *do* exchange staged sends must keep the
+	// window at the hardware bound (see DESIGN.md §11).
+	window := sys.Lookahead()
+	if q := 4 * sys.Cfg.Kernel.Quantum; window < q {
+		window = q
+	}
+	pe := sim.NewParallelEngine(window, workers)
+	pe.AddPartition("timing-model", sys.Engine)
+
+	// Refill watermark: a dispatch quantum that starts just inside the
+	// horizon runs to completion, so one epoch consumes at most
+	// window+quantum of simulated time per CPU, at most IssueWidth ops
+	// per core cycle, plus a few zero-time transaction marks. The buffer
+	// target keeps two epochs of worst-case consumption in flight.
+	period := int64(sys.Cfg.Chip.Core.Clock.Period)
+	issue := sys.Cfg.Chip.Core.IssueWidth
+	if issue < 1 {
+		issue = 1
+	}
+	maxOps := int(int64(window+sys.Cfg.Kernel.Quantum)/period)*issue + 64
+	target := 2*maxOps + 256
+
+	// Seeds are drawn serially first — the draw order is part of the
+	// byte-identity contract — then the heavyweight process construction
+	// fans out across the phase workers.
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = rng.Uint64()
+	}
+	r := &intraRun{pe: pe, kern: sys.Kern, procs: make([]*bufStream, n)}
+	pe.Fan(n, func(i int) {
+		r.procs[i] = &bufStream{inner: newStream(i), rng: sim.NewRNG(seeds[i])}
+	})
+	// Initial fill to the watermark, also on the workers, then committed
+	// into the kernel-facing buffers before the first event runs.
+	pe.Fan(n, func(i int) { r.procs[i].fill(target) })
+	for _, b := range r.procs {
+		b.commit(target)
+	}
+
+	// One generator partition per worker, owning procs in index stride;
+	// ownership only balances load — generation is per-process
+	// deterministic, so the assignment never shows in the output.
+	for g := 0; g < workers; g++ {
+		g := g
+		gen := pe.AddPartition(fmt.Sprintf("opgen-%d", g), nil)
+		gen.SetCompute(func(sim.Time) {
+			for i := g; i < len(r.procs); i += workers {
+				r.procs[i].generate()
+			}
+		})
+	}
+	// The commit phase hands generated batches to the kernel-facing
+	// buffers in fixed process order — the buffer handoff deliberately
+	// bypasses partition 0's event queue, whose (time, seq) history must
+	// not shift by even one entry.
+	pe.OnCommit(func() {
+		for _, b := range r.procs {
+			b.commit(target)
+		}
+	})
+
+	id := 0
+	for c := 0; c < ncpu; c++ {
+		for p := 0; p < procsPerCPU; p++ {
+			sys.Kern.Spawn(c, r.procs[id], seeds[id])
+			id++
+		}
+	}
+	return r
+}
+
+// RunTx is the drop-in replacement for Kernel.RunTx under the epoch loop.
+func (r *intraRun) RunTx(target uint64) sim.Time {
+	return r.kern.RunTxDriven(target, r.pe.RunWhile)
+}
+
+// Diagnostic exposes per-partition queue state for the watchdog.
+func (r *intraRun) Diagnostic() string { return r.pe.Diagnostic() }
+
+// Close stops the phase workers.
+func (r *intraRun) Close() { r.pe.Close() }

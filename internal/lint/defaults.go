@@ -1,12 +1,15 @@
 package lint
 
 // DefaultAnalyzers is the suite piranha-vet runs over this repository:
-// all four analyzers, with goroutine fan-out confined to the experiment
-// runner and the protocol table checked against the directory-state ×
-// request-kind cross-product.
+// all four analyzers, with goroutine fan-out confined to the allowlist —
+// the experiment runner plus the parallel engine's phase-worker pool in
+// internal/sim — and the protocol table checked against the
+// directory-state × request-kind cross-product. Even inside the
+// allowlist, goroutines may not call Schedule/After directly; the
+// determinism analyzer holds them to the staging API.
 func DefaultAnalyzers() []Analyzer {
 	return []Analyzer{
-		Determinism("internal/runner"),
+		Determinism("internal/runner", "internal/sim"),
 		Hotpath(),
 		ProtocolTable(PiranhaProto),
 		NilGuard(),

@@ -20,8 +20,15 @@ import (
 //     enclosing function sorts after the loop (the canonical
 //     collect-then-sort idiom, e.g. sortutil.Keys);
 //   - goroutine launches outside the packages in allowGoroutines
-//     (module-relative directories; the experiment runner owns all
-//     worker fan-out);
+//     (module-relative directories; worker fan-out belongs to the
+//     experiment runner and the sim phase-worker pool, nowhere else);
+//   - sim.Engine scheduling calls (Schedule/After) lexically inside a
+//     launched goroutine: an engine is partition-private, so
+//     cross-partition event scheduling must go through the two-phase
+//     staging API (Partition.Stage), which commits sends in a fixed
+//     (time, source, order) merge — a direct call from a goroutine
+//     races the heap and breaks byte-identity even in allowlisted
+//     packages;
 //   - any math/rand use at all inside a fault-injection package
 //     (internal/fault): fault schedules must replay bit-identically
 //     across reruns and parallel workers, so their randomness must flow
@@ -48,8 +55,9 @@ func Determinism(allowGoroutines ...string) Analyzer {
 					case *ast.GoStmt:
 						if !d.goroutineOK {
 							d.out = append(d.out, m.diag("determinism", n.Pos(),
-								"goroutine launched outside internal/runner: worker fan-out must stay in the experiment runner"))
+								"goroutine launched outside the fan-out allowlist: workers belong to the experiment runner (internal/runner) or the sim phase-worker pool (internal/sim)"))
 						}
+						d.checkGoroutineScheduling(n)
 					case *ast.FuncDecl:
 						if n.Body != nil {
 							d.checkMapRanges(n)
@@ -112,6 +120,29 @@ func (d *detPass) checkBannedFunc(sel *ast.SelectorExpr) {
 				"top-level %s.%s uses the shared global generator; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name()))
 		}
 	}
+}
+
+// checkGoroutineScheduling flags Schedule/After calls lexically inside a
+// launched goroutine — the direct call (go eng.Schedule(...)) and any
+// call within the goroutine's function literal. Event queues are
+// partition-private; the only legal cross-goroutine path into one is the
+// staging API, whose commit phase merges sends deterministically. This
+// rule holds even in packages allowed to launch goroutines: the phase
+// workers themselves must stage, not schedule.
+func (d *detPass) checkGoroutineScheduling(g *ast.GoStmt) {
+	flag := func(call *ast.CallExpr) {
+		if name := calleeName(call); scheduleNames[name] {
+			d.out = append(d.out, d.m.diag("determinism", call.Pos(),
+				"%s called from a goroutine: cross-partition event scheduling must go through the staging API (Partition.Stage) and commit between phases", name))
+		}
+	}
+	flag(g.Call)
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && call != g.Call {
+			flag(call)
+		}
+		return true
+	})
 }
 
 // checkMapRanges inspects every range-over-map loop in fd for

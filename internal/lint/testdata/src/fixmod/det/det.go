@@ -68,9 +68,19 @@ func Mutate(m map[string]int) {
 	}
 }
 
-// Fork launches a goroutine outside internal/runner: finding.
+// Fork launches a goroutine outside the fan-out allowlist: finding.
 func Fork(done chan struct{}) {
 	go func() { close(done) }()
+}
+
+// ForkSchedule schedules from inside a launched goroutine — bypassing
+// the staging API: two findings (the goroutine itself plus the
+// scheduling call), and the direct-call form is one more pair.
+func ForkSchedule(e *Engine, at int64) {
+	go func() {
+		e.Schedule(at, nil)
+	}()
+	go e.Schedule(at, nil)
 }
 
 // Suppressed demonstrates //piranha:allow: no finding may survive.

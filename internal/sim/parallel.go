@@ -1,0 +1,338 @@
+// Two-phase partitioned event execution (conservative parallel discrete
+// event simulation in the ACALSim mold). The event space is split into
+// partitions, each owning a private Engine; an epoch loop alternates a
+// compute phase — every partition drains its queue up to a conservative
+// horizon concurrently on a pool of phase workers — with a single-threaded
+// commit phase that merges cross-partition sends in a fixed (time, source,
+// staging-order) total order. Because compute touches only partition-
+// private state and commit is serial and sorted, the execution is
+// bit-identical no matter how many workers run the compute phase — the
+// property every determinism test in this repository pins.
+//
+// The horizon is derived from the lookahead: the minimum simulated-time
+// lag between an event executing in one partition and its earliest
+// possible effect on another (for the Piranha machine, the minimum
+// ICS/link/noc transfer latency). An event at time t may therefore only
+// stage sends at or after t+lookahead >= horizon; Stage enforces this and
+// panics on a violation rather than silently corrupting the timeline.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Scheduler is the scheduling surface shared by the serial Engine and a
+// Partition's private engine, letting model components take either.
+type Scheduler interface {
+	Now() Time
+	Schedule(at Time, do func()) EventID
+	After(d Time, do func()) EventID
+	Cancel(id EventID) bool
+}
+
+// staged is one deferred cross-partition send. The (at, from, idx) triple
+// is a total order independent of worker interleaving: at is the target
+// timestamp, from the source partition, idx the source's staging order.
+type staged struct {
+	at   Time
+	from int32
+	idx  int32
+	to   int32
+	do   func()
+}
+
+// Partition is one slice of the event space: a private engine plus an
+// optional compute hook, owned by exactly one phase worker per epoch.
+type Partition struct {
+	id   int
+	name string
+	eng  *Engine
+	pe   *ParallelEngine
+
+	// onCompute, when set, runs at the start of the partition's compute
+	// phase with the epoch horizon (timing-independent producers — e.g.
+	// workload op pre-generation — hook here instead of queueing events).
+	onCompute func(horizon Time)
+
+	// out is the epoch's staged cross-partition sends (compute writes,
+	// commit reads; the phase barrier orders the two).
+	out []staged
+}
+
+// ID returns the partition's index (0 is conventionally the timing model).
+func (p *Partition) ID() int { return p.id }
+
+// Name returns the partition's diagnostic label.
+func (p *Partition) Name() string { return p.name }
+
+// Engine returns the partition's private event queue.
+func (p *Partition) Engine() *Engine { return p.eng }
+
+// SetCompute installs fn to run at the start of every compute phase,
+// before the partition's queue drains. fn executes on a phase worker and
+// must touch only partition-private state.
+func (p *Partition) SetCompute(fn func(horizon Time)) { p.onCompute = fn }
+
+// Stage defers a cross-partition send: do runs on partition to's engine
+// at absolute time at, scheduled during the next commit phase in the
+// deterministic (at, from, idx) merge order. Stage is the only legal way
+// to affect another partition from the compute phase; at must respect the
+// lookahead window (at >= the current epoch horizon) or the conservative
+// synchronization is unsound, so a violation panics.
+func (p *Partition) Stage(to *Partition, at Time, do func()) {
+	if at < p.pe.horizon {
+		panic(fmt.Sprintf(
+			"sim: staged send for %d ps violates the lookahead window (epoch horizon %d ps): cross-partition effects must lag the sender by at least the lookahead",
+			at, p.pe.horizon))
+	}
+	p.out = append(p.out, staged{at: at, from: int32(p.id), idx: int32(len(p.out)), to: int32(to.id), do: do})
+}
+
+// compute runs one partition's compute phase: the hook, then the private
+// queue up to the horizon. Partition 0 additionally honors cond between
+// events (cond must read only partition-0 state) and never has its clock
+// bumped to the horizon, keeping its (now, seq) history bit-identical to
+// a serial run; other partitions advance to the horizon so committed
+// sends are never in their past.
+func (p *Partition) compute(cond func() bool) {
+	p.out = p.out[:0]
+	if p.onCompute != nil {
+		p.onCompute(p.pe.horizon)
+	}
+	if p.id == 0 {
+		p.pe.condHeld = p.eng.RunUntilWhile(p.pe.horizon, cond)
+	} else {
+		p.eng.RunUntil(p.pe.horizon)
+	}
+}
+
+// ParallelEngine coordinates partitions through the two-phase epoch loop.
+type ParallelEngine struct {
+	lookahead Time
+	workers   int
+	parts     []*Partition
+
+	tasks   chan func()
+	started bool
+	closed  bool
+
+	// horizon is the running epoch's commit horizon: written by the epoch
+	// loop before workers launch (the task handoff orders it), read by
+	// Stage during compute.
+	horizon Time
+	// condHeld is partition 0's report of whether cond survived the epoch.
+	condHeld bool
+
+	epochs    uint64
+	committed uint64
+	scratch   []staged
+	onCommit  []func()
+}
+
+// NewParallelEngine returns an epoch scheduler with the given lookahead
+// window and phase-worker count. workers < 1 is clamped to 1; a single
+// worker runs every phase inline on the caller's goroutine (no goroutines
+// at all), which is also the reference the multi-worker output must match.
+func NewParallelEngine(lookahead Time, workers int) *ParallelEngine {
+	if lookahead <= 0 {
+		panic("sim: parallel engine requires a positive lookahead")
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return &ParallelEngine{lookahead: lookahead, workers: workers}
+}
+
+// AddPartition registers a partition. eng may be nil to allocate a fresh
+// private engine; passing an existing engine adopts it (the usual shape:
+// partition 0 adopts the timing model's engine so serial and parallel
+// runs share one event history).
+func (pe *ParallelEngine) AddPartition(name string, eng *Engine) *Partition {
+	if eng == nil {
+		eng = NewEngine()
+	}
+	p := &Partition{id: len(pe.parts), name: name, eng: eng, pe: pe}
+	pe.parts = append(pe.parts, p)
+	return p
+}
+
+// OnCommit registers fn to run during every commit phase, single-threaded,
+// after staged sends are applied, in registration order. Buffer handoffs
+// that must not perturb a partition's event queue (the op-stream refill)
+// live here.
+func (pe *ParallelEngine) OnCommit(fn func()) { pe.onCommit = append(pe.onCommit, fn) }
+
+// Lookahead returns the conservative window.
+func (pe *ParallelEngine) Lookahead() Time { return pe.lookahead }
+
+// Workers returns the phase-worker count.
+func (pe *ParallelEngine) Workers() int { return pe.workers }
+
+// Epochs returns how many compute/commit cycles have run.
+func (pe *ParallelEngine) Epochs() uint64 { return pe.epochs }
+
+// Committed returns how many staged cross-partition sends have been merged.
+func (pe *ParallelEngine) Committed() uint64 { return pe.committed }
+
+// Pending sums the partitions' queued events (sim.Engine hygiene: the
+// parallel engine answers the same questions the serial one does).
+func (pe *ParallelEngine) Pending() int {
+	n := 0
+	for _, p := range pe.parts {
+		n += p.eng.Pending()
+	}
+	return n
+}
+
+// Executed sums the partitions' executed-event counts.
+func (pe *ParallelEngine) Executed() uint64 {
+	var n uint64
+	for _, p := range pe.parts {
+		n += p.eng.Executed()
+	}
+	return n
+}
+
+// Diagnostic renders per-partition queue state — the payload a
+// partition-aware Watchdog appends so a stalled partition is identifiable
+// from the failure message alone.
+func (pe *ParallelEngine) Diagnostic() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "parallel engine: %d partitions, %d workers, lookahead %d ps, %d epochs, %d staged sends committed",
+		len(pe.parts), pe.workers, pe.lookahead, pe.epochs, pe.committed)
+	for _, p := range pe.parts {
+		fmt.Fprintf(&b, "; [p%d %s] now=%d ps pending=%d executed=%d",
+			p.id, p.name, p.eng.Now(), p.eng.Pending(), p.eng.Executed())
+	}
+	return b.String()
+}
+
+// Close stops the phase workers. The engine must not run afterwards.
+func (pe *ParallelEngine) Close() {
+	if pe.started && !pe.closed {
+		close(pe.tasks)
+	}
+	pe.closed = true
+}
+
+// start lazily launches the worker pool.
+func (pe *ParallelEngine) start() {
+	if pe.started || pe.workers == 1 {
+		return
+	}
+	pe.started = true
+	pe.tasks = make(chan func(), pe.workers)
+	for i := 0; i < pe.workers; i++ {
+		go func() {
+			for f := range pe.tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// fanWait runs every task on the pool and waits for all of them — the
+// phase barrier. With one worker the tasks run inline in order.
+func (pe *ParallelEngine) fanWait(tasks []func()) {
+	if pe.workers == 1 {
+		for _, f := range tasks {
+			f()
+		}
+		return
+	}
+	pe.start()
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, f := range tasks {
+		f := f
+		pe.tasks <- func() { defer wg.Done(); f() }
+	}
+	wg.Wait()
+}
+
+// Fan runs fn(0..n-1) on the phase workers and waits — the parallel-for
+// used for heavy deterministic setup (per-process workload construction)
+// so goroutine fan-out stays inside this package's worker pool.
+func (pe *ParallelEngine) Fan(n int, fn func(i int)) {
+	if pe.workers == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	tasks := make([]func(), n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = func() { fn(i) }
+	}
+	pe.fanWait(tasks)
+}
+
+// RunWhile drives the epoch loop until cond() becomes false or every
+// partition drains with nothing staged. cond must read only partition-0
+// state: it is evaluated between partition 0's events during compute and
+// between epochs, exactly matching serial Engine.RunWhile's cadence on
+// the partition-0 event stream.
+func (pe *ParallelEngine) RunWhile(cond func() bool) {
+	if pe.closed {
+		panic("sim: parallel engine used after Close")
+	}
+	compute := make([]func(), len(pe.parts))
+	for i, p := range pe.parts {
+		p := p
+		compute[i] = func() { p.compute(cond) }
+	}
+	for cond() {
+		next, have := Time(0), false
+		for _, p := range pe.parts {
+			if at, ok := p.eng.NextEventAt(); ok && (!have || at < next) {
+				next, have = at, true
+			}
+		}
+		if !have {
+			return // drained everywhere; nothing can become runnable
+		}
+		pe.horizon = next + pe.lookahead
+		pe.fanWait(compute)
+		pe.commit()
+		if !pe.condHeld {
+			return
+		}
+	}
+}
+
+// commit is the serial merge phase: staged sends from all partitions are
+// ordered by (at, from, idx) — a total order no worker interleaving can
+// perturb — and scheduled onto their target engines, then the commit
+// hooks run. Target clocks sit at or before the horizon and every staged
+// at is >= the horizon, so no send lands in a partition's past.
+func (pe *ParallelEngine) commit() {
+	all := pe.scratch[:0]
+	for _, p := range pe.parts {
+		all = append(all, p.out...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		return a.idx < b.idx
+	})
+	for i := range all {
+		s := &all[i]
+		pe.parts[s.to].eng.Schedule(s.at, s.do)
+		s.do = nil
+	}
+	pe.committed += uint64(len(all))
+	pe.scratch = all[:0]
+	for _, fn := range pe.onCommit {
+		fn()
+	}
+	pe.epochs++
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// The parallel-engine tests drive a token ring of counter actors: node i
+// forwards a token to node i+1 after a fixed link latency (the lookahead),
+// while every node also runs a private chain of local tick events. Local
+// ticks land at times ≡ 2 (mod 5) and token deliveries at multiples of
+// the latency 10, so no two events ever tie and the serial single-engine
+// execution order is fully determined by timestamps — making per-node
+// logs directly comparable between the serial reference and the
+// partitioned runs at any worker count.
+
+const (
+	ringLat    Time = 10
+	ringNodes       = 4
+	ringLimit       = 25 // deliveries per node
+	ringTicks       = 40 // local ticks per node
+	tickStart  Time = 2
+	tickPeriod Time = 5
+)
+
+type ringNode struct {
+	eng   *Engine
+	part  *Partition // nil in the serial reference
+	next  *ringNode
+	send  func(n *ringNode, at Time, do func())
+	log   []Time
+	count int
+	ticks int
+}
+
+func (n *ringNode) receive() {
+	now := n.eng.Now()
+	n.log = append(n.log, now)
+	n.count++
+	if n.count < ringLimit {
+		nx := n.next
+		n.send(n, now+ringLat, nx.receive)
+	}
+}
+
+func (n *ringNode) tick() {
+	n.ticks++
+	if n.ticks < ringTicks {
+		n.eng.After(tickPeriod, n.tick)
+	}
+}
+
+// buildRing wires the actors; engines is one engine per node (serial mode
+// passes the same engine n times).
+func buildRing(engines []*Engine, parts []*Partition) []*ringNode {
+	nodes := make([]*ringNode, len(engines))
+	for i := range nodes {
+		nodes[i] = &ringNode{eng: engines[i]}
+		if parts != nil {
+			nodes[i].part = parts[i]
+		}
+	}
+	for i, n := range nodes {
+		n.next = nodes[(i+1)%len(nodes)]
+		if parts == nil {
+			n.send = func(src *ringNode, at Time, do func()) { src.eng.Schedule(at, do) }
+		} else {
+			n.send = func(src *ringNode, at Time, do func()) { src.part.Stage(src.next.part, at, do) }
+		}
+		n.eng.Schedule(tickStart, n.tick)
+	}
+	nodes[0].eng.Schedule(0, nodes[0].receive)
+	return nodes
+}
+
+// runRingSerial is the reference: all actors on one engine, plain sends.
+func runRingSerial() ([]*ringNode, uint64) {
+	eng := NewEngine()
+	engines := make([]*Engine, ringNodes)
+	for i := range engines {
+		engines[i] = eng
+	}
+	nodes := buildRing(engines, nil)
+	eng.Run()
+	return nodes, eng.Executed()
+}
+
+// runRingParallel partitions one node per partition.
+func runRingParallel(t *testing.T, workers int) ([]*ringNode, *ParallelEngine) {
+	t.Helper()
+	pe := NewParallelEngine(ringLat, workers)
+	t.Cleanup(pe.Close)
+	engines := make([]*Engine, ringNodes)
+	parts := make([]*Partition, ringNodes)
+	for i := range engines {
+		parts[i] = pe.AddPartition("node", nil)
+		engines[i] = parts[i].Engine()
+	}
+	nodes := buildRing(engines, parts)
+	pe.RunWhile(func() bool { return true })
+	return nodes, pe
+}
+
+func checkRingEqual(t *testing.T, label string, want, got []*ringNode) {
+	t.Helper()
+	for i := range want {
+		if want[i].count != got[i].count || want[i].ticks != got[i].ticks {
+			t.Errorf("%s: node %d count/ticks = %d/%d, want %d/%d",
+				label, i, got[i].count, got[i].ticks, want[i].count, want[i].ticks)
+		}
+		if len(want[i].log) != len(got[i].log) {
+			t.Fatalf("%s: node %d log length %d, want %d", label, i, len(got[i].log), len(want[i].log))
+		}
+		for j := range want[i].log {
+			if want[i].log[j] != got[i].log[j] {
+				t.Fatalf("%s: node %d delivery %d at %d ps, want %d ps",
+					label, i, j, got[i].log[j], want[i].log[j])
+			}
+		}
+	}
+}
+
+func TestParallelRingMatchesSerial(t *testing.T) {
+	ref, refExecuted := runRingSerial()
+	for _, workers := range []int{1, 2, 4} {
+		nodes, pe := runRingParallel(t, workers)
+		checkRingEqual(t, "workers="+string(rune('0'+workers)), ref, nodes)
+		if pe.Executed() != refExecuted {
+			t.Errorf("workers=%d: executed %d events, serial executed %d", workers, pe.Executed(), refExecuted)
+		}
+		if pe.Pending() != 0 {
+			t.Errorf("workers=%d: %d events still pending after drain", workers, pe.Pending())
+		}
+		// Every cross-partition delivery except the initial token went
+		// through the staging API.
+		wantStaged := uint64(0)
+		for _, n := range ref {
+			wantStaged += uint64(n.count)
+		}
+		wantStaged--
+		if pe.Committed() != wantStaged {
+			t.Errorf("workers=%d: committed %d staged sends, want %d", workers, pe.Committed(), wantStaged)
+		}
+	}
+}
+
+// TestParallelCondStopsPartitionZero pins the serial-equivalence of the
+// stop condition: cond is evaluated between partition-0 events exactly as
+// Engine.RunWhile evaluates it between events, so partition 0's history
+// is a bit-identical prefix of the unconstrained run.
+func TestParallelCondStopsPartitionZero(t *testing.T) {
+	const stopAt = 7
+	ref, _ := runRingSerial()
+
+	pe := NewParallelEngine(ringLat, 2)
+	defer pe.Close()
+	engines := make([]*Engine, ringNodes)
+	parts := make([]*Partition, ringNodes)
+	for i := range engines {
+		parts[i] = pe.AddPartition("node", nil)
+		engines[i] = parts[i].Engine()
+	}
+	nodes := buildRing(engines, parts)
+	pe.RunWhile(func() bool { return nodes[0].count < stopAt })
+
+	if nodes[0].count != stopAt {
+		t.Fatalf("partition-0 count %d, want exactly %d", nodes[0].count, stopAt)
+	}
+	for j := 0; j < stopAt; j++ {
+		if nodes[0].log[j] != ref[0].log[j] {
+			t.Fatalf("delivery %d at %d ps, want %d ps (serial prefix)", j, nodes[0].log[j], ref[0].log[j])
+		}
+	}
+}
+
+func TestParallelStageLookaheadViolation(t *testing.T) {
+	pe := NewParallelEngine(ringLat, 1)
+	defer pe.Close()
+	a := pe.AddPartition("a", nil)
+	b := pe.AddPartition("b", nil)
+	a.Engine().Schedule(0, func() {
+		// Effect sooner than the lookahead: conservatively unsound.
+		a.Stage(b, a.Engine().Now()+ringLat-1, func() {})
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("lookahead violation did not panic")
+		}
+		if !strings.Contains(r.(string), "lookahead") {
+			t.Fatalf("panic %q does not name the lookahead window", r)
+		}
+	}()
+	pe.RunWhile(func() bool { return true })
+}
+
+// TestParallelComputeCommitHooks checks the phase hooks: compute hooks
+// see monotonically increasing horizons, commit hooks run once per epoch
+// single-threaded after the merge.
+func TestParallelComputeCommitHooks(t *testing.T) {
+	pe := NewParallelEngine(100, 2)
+	defer pe.Close()
+	p0 := pe.AddPartition("model", nil)
+	gen := pe.AddPartition("gen", nil)
+
+	var horizons []Time
+	gen.SetCompute(func(h Time) { horizons = append(horizons, h) })
+	commits := 0
+	pe.OnCommit(func() { commits++ })
+
+	n := 0
+	var step func()
+	step = func() {
+		n++
+		if n < 5 {
+			p0.Engine().After(250, step)
+		}
+	}
+	p0.Engine().Schedule(0, step)
+	pe.RunWhile(func() bool { return true })
+
+	if n != 5 {
+		t.Fatalf("model ran %d steps, want 5", n)
+	}
+	if uint64(commits) != pe.Epochs() || commits == 0 {
+		t.Fatalf("%d commit-hook runs, want one per epoch (%d)", commits, pe.Epochs())
+	}
+	if len(horizons) != commits {
+		t.Fatalf("%d compute-hook runs, want %d", len(horizons), commits)
+	}
+	for i := 1; i < len(horizons); i++ {
+		if horizons[i] <= horizons[i-1] {
+			t.Fatalf("horizon %d ps did not advance past %d ps", horizons[i], horizons[i-1])
+		}
+	}
+	d := pe.Diagnostic()
+	if !strings.Contains(d, "2 partitions") || !strings.Contains(d, "gen") {
+		t.Fatalf("diagnostic %q lacks partition detail", d)
+	}
+}
+
+// TestRunUntilWhile pins the window semantics the epoch loop depends on:
+// the clock is never bumped to the deadline and cond is honored between
+// events.
+func TestRunUntilWhile(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{3, 6, 9, 12} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	if held := e.RunUntilWhile(10, func() bool { return len(fired) < 2 }); held {
+		t.Fatal("cond stop misreported as window exhaustion")
+	}
+	if len(fired) != 2 || e.Now() != 6 {
+		t.Fatalf("after cond stop: %d fired, now=%d; want 2 fired at now=6", len(fired), e.Now())
+	}
+	if held := e.RunUntilWhile(10, func() bool { return true }); !held {
+		t.Fatal("window exhaustion misreported as cond stop")
+	}
+	if len(fired) != 3 || e.Now() != 9 {
+		t.Fatalf("after window: %d fired, now=%d; want 3 fired, clock held at 9 (not bumped to 10)", len(fired), e.Now())
+	}
+}

@@ -29,7 +29,14 @@ type Watchdog struct {
 	idle    int
 	stopped bool
 	pending EventID // the armed tick, cancelled by Stop
+	diag    func() string
 }
+
+// SetDiagnostic attaches an extra diagnostic source appended to the
+// failure message — a parallel run passes ParallelEngine.Diagnostic here
+// so a stalled partition fails loudly with its per-partition queue state
+// instead of hanging anonymously.
+func (w *Watchdog) SetDiagnostic(diag func() string) { w.diag = diag }
 
 // NewWatchdog arms a watchdog on e. progress must be monotone while the
 // run is healthy (a transaction counter is ideal). fail receives the
@@ -77,9 +84,13 @@ func (w *Watchdog) tick() {
 	} else {
 		w.idle++
 		if w.idle >= w.maxIdle {
-			w.fail(fmt.Sprintf(
+			msg := fmt.Sprintf(
 				"sim: watchdog: no progress over %d intervals of %d ps (progress counter stuck at %d, now=%d ps, %d events pending, %d executed)",
-				w.idle, w.interval, cur, w.eng.Now(), w.eng.Pending(), w.eng.Executed()))
+				w.idle, w.interval, cur, w.eng.Now(), w.eng.Pending(), w.eng.Executed())
+			if w.diag != nil {
+				msg += "; " + w.diag()
+			}
+			w.fail(msg)
 			return
 		}
 	}

@@ -64,8 +64,15 @@ func NewDSS(cfg DSSConfig, lay Layout, nProcs int) *DSS {
 
 // NewProcess returns the next slave's stream, scanning its partition.
 func (d *DSS) NewProcess() *DSSProc {
-	id := d.spawned
+	p := d.Process(d.spawned)
 	d.spawned++
+	return p
+}
+
+// Process builds the id'th slave's stream without touching shared state;
+// like OLTP.Process it is a pure function of id, safe to call
+// concurrently for distinct ids.
+func (d *DSS) Process(id int) *DSSProc {
 	part := d.Lay.Scan.Lines() / uint64(maxI(d.nProcs, 1))
 	return &DSSProc{
 		d:     d,

@@ -96,8 +96,19 @@ func NewOLTP(cfg OLTPConfig, lay Layout, nProcs int) *OLTP {
 
 // NewProcess returns the op stream for the next server process.
 func (o *OLTP) NewProcess() *OLTPProc {
-	id := o.spawned
+	p := o.Process(o.spawned)
 	o.spawned++
+	return p
+}
+
+// Process builds the id'th server process's op stream without touching
+// shared workload state: everything it reads (layout, config, hot-set
+// bounds) is immutable after NewOLTP, so distinct ids may be constructed
+// concurrently — the per-process Zipf tables dominate workload setup
+// cost, and an intra-parallel run builds them on the phase workers.
+// Construction is a pure function of id: Process(i) for i = 0..n-1 in
+// any order yields exactly the processes a serial NewProcess loop would.
+func (o *OLTP) Process(id int) *OLTPProc {
 	p := &OLTPProc{
 		o:        o,
 		id:       id,
