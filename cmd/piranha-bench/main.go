@@ -1,6 +1,6 @@
 // Command piranha-bench measures the simulator's host-side performance
-// and emits a versioned JSON report (BENCH_6.json) so the repository
-// carries a committed benchmark trajectory. Two families of benchmarks
+// and emits a versioned JSON report (BENCH_7.json) so the repository
+// carries a committed benchmark trajectory. Three families of benchmarks
 // run:
 //
 //   - End-to-end: full OLTP and DSS experiments at P1 and P8, reporting
@@ -15,6 +15,10 @@
 //     targets (L2 line lookup, protocol-engine directory dispatch, noc
 //     hop delivery). These must be allocation-free in steady state; the
 //     harness fails loudly if they are not.
+//   - Load sweeps: open-loop throughput-vs-p99 hockey-stick curves for
+//     P1/P8 OLTP and P8 DSS with the detected saturation multiplier.
+//     These are simulated (host-independent) numbers, deterministic for
+//     a given -seed.
 //
 // With -baseline, the micro rows are compared against a previously
 // committed report and the run fails on a >10% allocs/op regression
@@ -30,6 +34,7 @@ import (
 	"runtime"
 	"time"
 
+	"piranha"
 	"piranha/internal/cache"
 	"piranha/internal/core"
 	"piranha/internal/ics"
@@ -44,7 +49,7 @@ import (
 // trajectory index (BENCH_<benchVersion>.json).
 const (
 	schemaVersion = 1
-	benchVersion  = 6
+	benchVersion  = 7
 )
 
 // Result is one benchmark row.
@@ -80,6 +85,57 @@ type Report struct {
 	NumCPU int      `json:"num_cpu"`
 	Notes  string   `json:"notes,omitempty"`
 	Suite  []Result `json:"suite"`
+	// Sweeps holds the open-loop load-sweep curves (simulated numbers,
+	// deterministic for a given seed — unlike the host-time Suite rows).
+	Sweeps []SweepSummary `json:"sweeps,omitempty"`
+}
+
+// SweepSummary is one committed hockey-stick curve: throughput vs tail
+// latency over offered load, with the detected saturation multiplier
+// (-1 when the sweep never saturates).
+type SweepSummary struct {
+	Name                 string       `json:"name"`
+	CapacityTxS          float64      `json:"capacity_tx_s"`
+	SaturationMultiplier float64      `json:"saturation_multiplier"`
+	Points               []SweepPoint `json:"points"`
+}
+
+// SweepPoint is one offered-load point of a SweepSummary.
+type SweepPoint struct {
+	Multiplier  float64 `json:"multiplier"`
+	OfferedTxS  float64 `json:"offered_tx_s"`
+	AchievedTxS float64 `json:"achieved_tx_s"`
+	P50Ns       float64 `json:"p50_ns"`
+	P99Ns       float64 `json:"p99_ns"`
+	P999Ns      float64 `json:"p999_ns"`
+}
+
+// loadSweep runs one open-loop sweep and compresses it to the committed
+// summary form (the full per-point Results would bloat the report).
+func loadSweep(name string, kind core.WorkloadKind, cpus int, seed uint64, warmTx, measureTx uint64) SweepSummary {
+	s := piranha.RunLoadSweep(
+		piranha.SystemConfig{Chips: 1, Chip: core.PiranhaChip(cpus)},
+		piranha.Workload{Kind: kind},
+		piranha.LoadSweep{
+			Multipliers: []float64{0.3, 0.7, 0.95, 1.2},
+			Scale:       piranha.Scale{Warm: warmTx, Measure: measureTx},
+			Seed:        seed,
+		})
+	sum := SweepSummary{Name: name, CapacityTxS: s.CapacityTxS, SaturationMultiplier: -1}
+	if s.Saturation >= 0 {
+		sum.SaturationMultiplier = s.Points[s.Saturation].Multiplier
+	}
+	for _, p := range s.Points {
+		sum.Points = append(sum.Points, SweepPoint{
+			Multiplier:  p.Multiplier,
+			OfferedTxS:  p.OfferedTxS,
+			AchievedTxS: p.AchievedTxS,
+			P50Ns:       p.P50Ns,
+			P99Ns:       p.P99Ns,
+			P999Ns:      p.P999Ns,
+		})
+	}
+	return sum
 }
 
 // measure times iters calls of fn, each covering ops operations, after
@@ -114,13 +170,14 @@ func measure(name, kind string, warm, iters, ops int, fn func()) Result {
 // endToEnd runs one full experiment per iteration and reports host ns
 // per simulated transaction plus the (deterministic) simulated Result,
 // so jintra rows can be checked bit-identical against their serial row.
-func endToEnd(name string, kind core.WorkloadKind, cpus, intraWorkers int, warmTx, measureTx uint64, iters int) (Result, core.Result) {
+func endToEnd(name string, kind core.WorkloadKind, cpus, intraWorkers int, seed, warmTx, measureTx uint64, iters int) (Result, core.Result) {
 	exp := core.Experiment{
 		Name:         name,
 		Sys:          core.SystemConfig{Chips: 1, Chip: core.PiranhaChip(cpus)},
 		Work:         core.WorkloadSpec{Kind: kind},
 		WarmTx:       warmTx,
 		MeasureTx:    measureTx,
+		Seed:         seed,
 		IntraWorkers: intraWorkers,
 	}
 	var last core.Result
@@ -234,8 +291,9 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller transaction counts and iteration budgets (CI smoke)")
-	out := flag.String("o", "BENCH_6.json", "output report path")
+	out := flag.String("o", "BENCH_7.json", "output report path")
 	baseline := flag.String("baseline", "", "compare micro allocs/op against this committed report (fail on >10% regression)")
+	seed := flag.Uint64("seed", 0, "workload seed for the end-to-end and sweep rows (0 = default)")
 	flag.Parse()
 
 	warmTx, measureTx := uint64(100), uint64(500)
@@ -275,7 +333,7 @@ func main() {
 	// enforced on every bench run rather than only in the test suite.
 	jintra := func(serial Result, serialRes core.Result, kind core.WorkloadKind, cpus, workers int, tag string) {
 		name := serial.Name + "/jintra" + tag
-		r, res := endToEnd(name, kind, cpus, workers, warmTx, measureTx, e2eIters)
+		r, res := endToEnd(name, kind, cpus, workers, *seed, warmTx, measureTx, e2eIters)
 		res.Name = serialRes.Name // rows differ by name alone; counters may not
 		if res != serialRes {
 			fatalf("%s: simulated result diverged from serial row %s", name, serial.Name)
@@ -284,13 +342,13 @@ func main() {
 		add(r)
 	}
 
-	oltp1, oltp1Res := endToEnd("oltp/p1", core.OLTP, 1, 0, warmTx, measureTx, e2eIters)
+	oltp1, oltp1Res := endToEnd("oltp/p1", core.OLTP, 1, 0, *seed, warmTx, measureTx, e2eIters)
 	add(oltp1)
-	oltp8, oltp8Res := endToEnd("oltp/p8", core.OLTP, 8, 0, warmTx, measureTx, e2eIters)
+	oltp8, oltp8Res := endToEnd("oltp/p8", core.OLTP, 8, 0, *seed, warmTx, measureTx, e2eIters)
 	add(oltp8)
-	dss1, _ := endToEnd("dss/p1", core.DSS, 1, 0, warmTx, measureTx, e2eIters)
+	dss1, _ := endToEnd("dss/p1", core.DSS, 1, 0, *seed, warmTx, measureTx, e2eIters)
 	add(dss1)
-	dss8, dss8Res := endToEnd("dss/p8", core.DSS, 8, 0, warmTx, measureTx, e2eIters)
+	dss8, dss8Res := endToEnd("dss/p8", core.DSS, 8, 0, *seed, warmTx, measureTx, e2eIters)
 	add(dss8)
 
 	// P8 rows at 2, 4, and GOMAXPROCS phase workers (tagged "max" so the
@@ -306,6 +364,29 @@ func main() {
 	add(l2LookupBench(microIters))
 	add(peDirDispatchBench(microIters))
 	add(nocHopBench(microIters))
+
+	// Open-loop load sweeps: the committed hockey-stick trajectory. These
+	// are simulated numbers (deterministic per seed), so the curves are
+	// comparable across hosts and PRs.
+	for _, sw := range []struct {
+		name string
+		kind core.WorkloadKind
+		cpus int
+	}{
+		{"sweep/oltp/p1", core.OLTP, 1},
+		{"sweep/oltp/p8", core.OLTP, 8},
+		{"sweep/dss/p8", core.DSS, 8},
+	} {
+		s := loadSweep(sw.name, sw.kind, sw.cpus, *seed, warmTx, measureTx)
+		rep.Sweeps = append(rep.Sweeps, s)
+		sat := "none"
+		if s.SaturationMultiplier > 0 {
+			sat = fmt.Sprintf("%gx", s.SaturationMultiplier)
+		}
+		last := s.Points[len(s.Points)-1]
+		fmt.Printf("%-22s capacity %8.0f tx/s  saturates at %-5s p99@%gx %.0f ns\n",
+			s.Name, s.CapacityTxS, sat, last.Multiplier, last.P99Ns)
+	}
 
 	// The refactor's contract: the three hot paths allocate nothing in
 	// steady state. Enforce it on every run, not just under -baseline.

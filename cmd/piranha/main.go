@@ -30,6 +30,16 @@
 // rate, with the fault counter block) prints per pair. Campaigns are
 // deterministic: the same seed and grid reproduce identical counters and
 // curves.
+//
+// -arrivals switches runs to open-loop: transactions arrive on a seeded
+// stochastic process ("poisson,rate=2e5,cap=256", "mmpp,rate=1.5e5,
+// burst=8", "diurnal,rate=2e5,depth=0.8", optionally "mix=oltp:3/dss:1")
+// and queue for admission; results grow arrival→completion latency
+// percentiles and admission counters. -load-sweep runs the open-loop
+// hockey-stick campaign instead: per config x workload pair it
+// calibrates closed-loop capacity, offers load at the listed capacity
+// multipliers, and prints throughput vs tail latency with the detected
+// saturation point.
 package main
 
 import (
@@ -49,6 +59,7 @@ import (
 	"piranha/internal/sim"
 	"piranha/internal/stats"
 	"piranha/internal/trace"
+	"piranha/internal/workload"
 )
 
 // defaultFaultPlan is the campaign base when -faults=default: rates low
@@ -153,8 +164,29 @@ func main() {
 		intervals = flag.Duration("intervals", 0, "sample interval metrics per window of simulated time (e.g. 2us)")
 		faults    = flag.String("faults", "", "fault campaign base plan: 'default' or e.g. 'ber=1e-5,loss=1e-4,memflip=1e-4,stall=1e-6,mirror'")
 		faultGrid = flag.String("fault-grid", "0,1,2,4,8", "comma-separated rate multipliers swept per config x workload pair")
+		arrivals  = flag.String("arrivals", "", "open-loop arrival stream, e.g. 'poisson,rate=2e5,cap=256' or 'mmpp,rate=1.5e5,burst=8,mix=oltp:3/dss:1' (rate in tx/s of simulated time; with -load-sweep the rate is set per point and may be omitted)")
+		loadSweep = flag.String("load-sweep", "", "load-sweep campaign: 'default' or comma-separated capacity multipliers (e.g. '0.3,0.7,0.95,1.2') run open-loop per config x workload pair")
 	)
 	flag.Parse()
+
+	var arrivalSpec piranha.Arrivals
+	if *arrivals != "" {
+		spec := *arrivals
+		if *loadSweep != "" && !strings.Contains(spec, "rate=") {
+			// Sweep mode overrides the rate per point; let the template
+			// omit it.
+			spec += ",rate=1"
+		}
+		var err error
+		if arrivalSpec, err = workload.ParseArrivals(spec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *loadSweep != "" && *faults != "" {
+		fmt.Fprintln(os.Stderr, "-load-sweep and -faults are separate campaign modes; pick one")
+		os.Exit(2)
+	}
 
 	var (
 		basePlan fault.Plan
@@ -182,6 +214,55 @@ func main() {
 	}
 
 	workloads := strings.Split(*work, ",")
+
+	if *loadSweep != "" {
+		// Load-sweep campaign: one hockey-stick curve per config x
+		// workload pair, each sweep fanning its points across the batch
+		// pool. Output (text or JSON) is deterministic for a given seed.
+		mults := piranha.DefaultSweepMultipliers
+		if *loadSweep != "default" {
+			var err error
+			if mults, err = parseGrid(*loadSweep); err != nil {
+				fmt.Fprintln(os.Stderr, strings.Replace(err.Error(), "-fault-grid", "-load-sweep", 1))
+				os.Exit(2)
+			}
+		}
+		piranha.SetParallelism(*parallel)
+		enc := json.NewEncoder(os.Stdout)
+		for _, c := range strings.Split(*config, ",") {
+			sys, ok := sysByName[c]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
+				os.Exit(2)
+			}
+			sys.Chips = *chips
+			for _, w := range workloads {
+				kind, ok := kindByName[w]
+				if !ok {
+					fmt.Fprintf(os.Stderr, "unknown workload %q\n", w)
+					os.Exit(2)
+				}
+				s := piranha.RunLoadSweep(sys, piranha.Workload{Kind: kind}, piranha.LoadSweep{
+					Multipliers:  mults,
+					Arrivals:     arrivalSpec,
+					Scale:        piranha.Scale{Warm: *warm, Measure: *tx},
+					Seed:         *seed,
+					Intervals:    *intervals,
+					IntraWorkers: *jintra,
+				})
+				s.Name = c + "/" + w
+				if *jsonOut {
+					if err := enc.Encode(s); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					continue
+				}
+				fmt.Println(s)
+			}
+		}
+		return
+	}
 	var exps []core.Experiment
 	var pairs []string // campaign mode: config/workload group labels
 	for _, c := range strings.Split(*config, ",") {
@@ -206,7 +287,7 @@ func main() {
 			e := core.Experiment{
 				Name:         name,
 				Sys:          sys,
-				Work:         core.WorkloadSpec{Kind: kind},
+				Work:         core.WorkloadSpec{Kind: kind, Arrivals: arrivalSpec},
 				WarmTx:       *warm,
 				MeasureTx:    *tx,
 				Seed:         *seed,
@@ -295,6 +376,14 @@ func main() {
 			continue
 		}
 		fmt.Println(res)
+		if res.Lat != nil {
+			fmt.Println(res.Lat)
+		}
+		if res.Admission != nil {
+			a := res.Admission
+			fmt.Printf("admission: arrivals=%d admitted=%d shed=%d completed=%d maxdepth=%d\n",
+				a.Arrivals, a.Admitted, a.Shed, a.Completed, a.MaxDepth)
+		}
 		if res.Series.Len() > 0 {
 			fmt.Print(res.Series)
 		}

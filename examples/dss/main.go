@@ -12,7 +12,7 @@ import (
 )
 
 func main() {
-	warm, tx := uint64(30), uint64(90)
+	scale := piranha.Scale{Warm: 30, Measure: 90}
 
 	fmt.Println("=== DSS (TPC-D Q6 scan): single-chip comparison ===")
 	for _, c := range []struct {
@@ -25,7 +25,7 @@ func main() {
 		{"P8", piranha.P8()},
 		{"P8F", piranha.P8F()},
 	} {
-		r := piranha.RunDSS(c.sys, warm, tx)
+		r := piranha.Run(c.sys, piranha.DSS(), piranha.WithScale(scale))
 		busy, hit, miss, _ := r.Agg.Normalized(r.Agg.Total())
 		fmt.Printf("%-4s ns/chunk=%-9.0f busy=%.0f%% L2stall=%.0f%% memstall=%.0f%%\n",
 			c.name, r.TimePerTx, busy*100, hit*100, miss*100)
@@ -35,7 +35,7 @@ func main() {
 	var base piranha.Result
 	for _, n := range []int{1, 2, 4, 8} {
 		sys := piranha.SystemConfig{Chips: 1, Chip: core.PiranhaChip(n)}
-		r := piranha.RunDSS(sys, warm, tx)
+		r := piranha.Run(sys, piranha.DSS(), piranha.WithScale(scale))
 		if n == 1 {
 			base = r
 		}

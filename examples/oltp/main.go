@@ -11,13 +11,13 @@ import (
 )
 
 func main() {
-	warm, tx := uint64(50), uint64(100)
+	scale := piranha.Scale{Warm: 50, Measure: 100}
 
 	fmt.Println("=== on-chip scaling (Fig 6a): OLTP, 1..8 cores ===")
 	var base piranha.Result
 	for _, n := range []int{1, 2, 4, 8} {
 		sys := piranha.SystemConfig{Chips: 1, Chip: core.PiranhaChip(n)}
-		r := piranha.RunOLTP(sys, warm, tx)
+		r := piranha.Run(sys, piranha.OLTP(), piranha.WithScale(scale))
 		if n == 1 {
 			base = r
 		}
@@ -29,7 +29,7 @@ func main() {
 	fmt.Println("\n=== multi-chip scaling (Fig 7): 4-core chips, 1..4 chips ===")
 	var one piranha.Result
 	for n := 1; n <= 4; n++ {
-		r := piranha.RunOLTP(piranha.MultiChip(n, 4), warm, tx)
+		r := piranha.Run(piranha.MultiChip(n, 4), piranha.OLTP(), piranha.WithScale(scale))
 		if n == 1 {
 			one = r
 		}

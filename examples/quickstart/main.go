@@ -12,8 +12,9 @@ import (
 func main() {
 	fmt.Println("Piranha quickstart: P8 vs OOO on OLTP (short run)")
 
-	p8 := piranha.RunOLTP(piranha.P8(), 50, 100)
-	ooo := piranha.RunOLTP(piranha.OOO(), 50, 100)
+	scale := piranha.Scale{Warm: 50, Measure: 100}
+	p8 := piranha.Run(piranha.P8(), piranha.OLTP(), piranha.WithScale(scale))
+	ooo := piranha.Run(piranha.OOO(), piranha.OLTP(), piranha.WithScale(scale))
 
 	fmt.Println(p8)
 	fmt.Println(ooo)

@@ -96,11 +96,22 @@ func SetIntraParallel(n int) {
 var (
 	harnessMu       sync.Mutex
 	harnessInterval sim.Time
+	harnessSeed     uint64
 	captureTraces   bool
 	captureCap      int
 	captured        []*trace.Tracer
 	capturedLabels  []string
 )
+
+// SetSeed makes every subsequent harness run that does not pin its own
+// seed use this workload seed (0 restores the library default). Changing
+// the seed perturbs every simulated number, so the golden figure outputs
+// only hold at the default.
+func SetSeed(seed uint64) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	harnessSeed = seed
+}
 
 // SetIntervals makes every subsequent harness run sample interval
 // metrics with the given bin width (0 disables). Reports then append
@@ -140,7 +151,7 @@ func WriteCapturedTraces(w io.Writer) error {
 // without losing sibling runs mid-flight.
 func runBatch(exps []core.Experiment) []Result {
 	harnessMu.Lock()
-	iv, capture, capN, jintra := harnessInterval, captureTraces, captureCap, intraWorkers
+	iv, capture, capN, jintra, seed := harnessInterval, captureTraces, captureCap, intraWorkers, harnessSeed
 	harnessMu.Unlock()
 	for i := range exps {
 		if iv > 0 && exps[i].Intervals == 0 {
@@ -151,6 +162,9 @@ func runBatch(exps []core.Experiment) []Result {
 		}
 		if exps[i].IntraWorkers == 0 {
 			exps[i].IntraWorkers = jintra
+		}
+		if seed != 0 && exps[i].Seed == 0 {
+			exps[i].Seed = seed
 		}
 	}
 	rs, err := runner.Results(runner.Run(context.Background(), exps, parallelism))

@@ -34,6 +34,15 @@ type WorkloadSpec struct {
 	OLTP workload.OLTPConfig
 	// DSS config for the DSS kind (zero value takes defaults).
 	DSS workload.DSSConfig
+	// Arrivals switches the run to open-loop when enabled (Rate > 0):
+	// transactions arrive on a deterministic seeded stochastic process
+	// and queue at the kernel's admission layer, and the Result grows
+	// latency-percentile and admission blocks. The zero value is the
+	// classic closed-loop mode, byte-identical to a spec that never set
+	// it — the same enable-by-value pattern as fault.Plan. A non-empty
+	// Arrivals.Mix overrides Kind with one server-process pool per
+	// tenant.
+	Arrivals workload.ArrivalSpec
 }
 
 // Experiment is one simulation run.
@@ -101,6 +110,13 @@ type Result struct {
 	// with an enabled fault plan; nil otherwise (same pointer idiom as
 	// Series).
 	Faults *fault.Stats
+	// Lat holds the arrival→completion latency sketch (queueing +
+	// service, picoseconds) for open-loop runs; nil otherwise (same
+	// pointer idiom as Series).
+	Lat *stats.Quantile
+	// Admission holds the admission-queue counters for open-loop runs;
+	// nil otherwise.
+	Admission *kernel.AdmissionStats
 }
 
 // String renders a one-line summary.
@@ -179,37 +195,53 @@ func Run(e Experiment) Result {
 	ncpu := sys.TotalCPUs()
 	rng := sim.NewRNG(seed)
 
-	var procsPerCPU int
-	var newStream func(id int) kernel.Stream
-	switch e.Work.Kind {
-	case DSS, WEB:
-		cfg := e.Work.DSS
-		if cfg.InstrPerLine == 0 {
-			if e.Work.Kind == WEB {
-				cfg = workload.WebLike()
-			} else {
-				cfg = workload.DefaultDSS()
-			}
+	// Tenant pools: closed-loop runs have exactly one (the experiment's
+	// own kind); an open-loop mix hosts one server-process pool per
+	// tenant. The pool table is what makes newStream a pure function of
+	// the global process id — the jintra byte-identity contract.
+	arrivalsOn := e.Work.Arrivals.Enabled()
+	if arrivalsOn {
+		if err := e.Work.Arrivals.Validate(); err != nil {
+			panic("core: " + err.Error())
 		}
-		procsPerCPU = cfg.ProcsPerCPU
-		w := workload.NewDSS(cfg, lay, ncpu*procsPerCPU)
-		newStream = func(id int) kernel.Stream { return w.Process(id) }
-	case TPCC:
-		cfg := e.Work.OLTP
-		if cfg.InstrPerTx == 0 {
-			cfg = workload.TPCCLike()
+	}
+	kinds := []WorkloadKind{e.Work.Kind}
+	if arrivalsOn && len(e.Work.Arrivals.Mix) > 0 {
+		kinds = kinds[:0]
+		for _, t := range e.Work.Arrivals.Mix {
+			kinds = append(kinds, WorkloadKind(t.Kind))
 		}
-		procsPerCPU = cfg.ProcsPerCPU
-		w := workload.NewOLTP(cfg, lay, ncpu*procsPerCPU)
-		newStream = func(id int) kernel.Stream { return w.Process(id) }
-	default: // OLTP
-		cfg := e.Work.OLTP
-		if cfg.InstrPerTx == 0 {
-			cfg = workload.DefaultOLTP()
+	}
+	pools := make([]tenantPool, len(kinds))
+	procsPerCPU := 0
+	for t, k := range kinds {
+		perCPU, stream := buildWorkload(k, e.Work, lay, ncpu)
+		pools[t] = tenantPool{perCPU: perCPU, base: procsPerCPU, stream: stream}
+		procsPerCPU += perCPU
+	}
+	newStream := func(id int) kernel.Stream {
+		t, local := locateProc(pools, procsPerCPU, id)
+		return pools[t].stream(local)
+	}
+
+	// Open-loop wiring: the admission queue, and the arrival driver's
+	// dedicated RNG stream — split *before* the process seeds are drawn,
+	// and only on open-loop runs, so closed-loop runs consume rng exactly
+	// as before.
+	spawn := func(c, id int, s kernel.Stream, procSeed uint64) {
+		sys.Kern.Spawn(c, s, procSeed)
+	}
+	var adm *kernel.Admission
+	if arrivalsOn {
+		adm = kernel.NewAdmission(len(pools), e.Work.Arrivals.Capacity)
+		sys.Kern.SetAdmission(adm)
+		adm.AttachSeries(series)
+		gen := workload.NewArrivalGen(e.Work.Arrivals, rng.Split(0x41525256)) // "ARRV"
+		startArrivals(sys.Engine, sys.Kern, gen)
+		spawn = func(c, id int, s kernel.Stream, procSeed uint64) {
+			t, _ := locateProc(pools, procsPerCPU, id)
+			sys.Kern.SpawnOpen(c, s, procSeed, t)
 		}
-		procsPerCPU = cfg.ProcsPerCPU
-		w := workload.NewOLTP(cfg, lay, ncpu*procsPerCPU)
-		newStream = func(id int) kernel.Stream { return w.Process(id) }
 	}
 
 	// Intra-run parallelism: two-phase partitioned execution moves
@@ -218,7 +250,7 @@ func Run(e Experiment) Result {
 	// machines and zero-lookahead systems fall back to the serial engine.
 	runTx := sys.Kern.RunTx
 	if w := e.IntraWorkers; w > 1 && ncpu >= 2 && sys.Lookahead() > 0 {
-		par := newIntraRun(sys, w, procsPerCPU, newStream, rng)
+		par := newIntraRun(sys, w, procsPerCPU, newStream, spawn, rng)
 		defer par.Close()
 		if wd != nil {
 			wd.SetDiagnostic(par.Diagnostic)
@@ -228,7 +260,7 @@ func Run(e Experiment) Result {
 		id := 0
 		for c := 0; c < ncpu; c++ {
 			for p := 0; p < procsPerCPU; p++ {
-				sys.Kern.Spawn(c, newStream(id), rng.Uint64())
+				spawn(c, id, newStream(id), rng.Uint64())
 				id++
 			}
 		}
@@ -249,6 +281,9 @@ func Run(e Experiment) Result {
 	e.Trace.Reset()
 	series.Reset(sys.Engine.Now())
 	inj.ResetStats()
+	if adm != nil {
+		adm.ResetStats(sys.Engine.Now())
+	}
 	elapsed := runTx(e.WarmTx + e.MeasureTx)
 	if inj != nil && sys.Kern.Tx < e.WarmTx+e.MeasureTx {
 		// RunTx returned with the queue drained short of the target: the
@@ -272,6 +307,13 @@ func Run(e Experiment) Result {
 	if inj != nil {
 		fs := inj.Collect()
 		r.Faults = &fs
+	}
+	if adm != nil {
+		adm.Finalize(sys.Engine.Now())
+		st := adm.Stats
+		r.Admission = &st
+		lat := *adm.Lat
+		r.Lat = &lat
 	}
 	var pageHits, pageTotal uint64
 	for _, chip := range sys.Chips {

@@ -102,8 +102,11 @@ type intraRun struct {
 // and one generator partition per worker owns an interleaved slice of
 // the process streams. It draws seeds, builds processes on the workers,
 // pre-fills the op buffers, and spawns everything in the serial order —
-// afterwards the caller just swaps RunTx for intraRun.RunTx.
-func newIntraRun(sys *System, workers, procsPerCPU int, newStream func(id int) kernel.Stream, rng *sim.RNG) *intraRun {
+// afterwards the caller just swaps RunTx for intraRun.RunTx. The spawn
+// callback is the caller's Spawn/SpawnOpen choice (closed- vs open-loop)
+// and must mirror the serial path exactly.
+func newIntraRun(sys *System, workers, procsPerCPU int, newStream func(id int) kernel.Stream,
+	spawn func(cpuID, id int, s kernel.Stream, seed uint64), rng *sim.RNG) *intraRun {
 	ncpu := sys.TotalCPUs()
 	n := ncpu * procsPerCPU
 
@@ -176,7 +179,7 @@ func newIntraRun(sys *System, workers, procsPerCPU int, newStream func(id int) k
 	id := 0
 	for c := 0; c < ncpu; c++ {
 		for p := 0; p < procsPerCPU; p++ {
-			sys.Kern.Spawn(c, r.procs[id], seeds[id])
+			spawn(c, id, r.procs[id], seeds[id])
 			id++
 		}
 	}

@@ -8,9 +8,15 @@ import (
 
 // ResultSchemaVersion is the version stamped into every Result JSON
 // object as "schema_version". Bump it on any breaking change to the
-// wire shape (renamed/removed fields, changed units); additive fields
-// do not require a bump. The schema is documented in DESIGN.md.
-const ResultSchemaVersion = 1
+// wire shape (renamed/removed fields, changed units). The schema is
+// documented in DESIGN.md §7, including the v1→v2 migration notes.
+//
+// v2 (open-loop tail latency): adds the "latency_percentiles" and
+// "admission" blocks for open-loop runs. Both are omitted on
+// closed-loop runs, so every v1 document is also a structurally valid
+// v2 document — readers should accept either version and treat the
+// absent blocks as "closed-loop run".
+const ResultSchemaVersion = 2
 
 // resultJSON is the versioned wire form of Result. All simulated times
 // are picoseconds (the engine unit) except time_per_tx_ns, which is the
@@ -35,8 +41,36 @@ type resultJSON struct {
 	L2  l2JSON  `json:"l2"`
 	Svc svcJSON `json:"svc"`
 
-	Series *stats.Series `json:"series,omitempty"`
-	Faults *faultJSON    `json:"faults,omitempty"`
+	Series    *stats.Series  `json:"series,omitempty"`
+	Faults    *faultJSON     `json:"faults,omitempty"`
+	Lat       *latencyJSON   `json:"latency_percentiles,omitempty"`
+	Admission *admissionJSON `json:"admission,omitempty"`
+}
+
+// latencyJSON is the v2 tail-latency block for open-loop runs: the
+// arrival→completion (queueing + service) latency distribution of the
+// measured window, in picoseconds. Omitted on closed-loop runs.
+type latencyJSON struct {
+	Count  uint64  `json:"count"`
+	MeanPs float64 `json:"mean_ps"`
+	MinPs  int64   `json:"min_ps"`
+	MaxPs  int64   `json:"max_ps"`
+	P50Ps  int64   `json:"p50_ps"`
+	P90Ps  int64   `json:"p90_ps"`
+	P99Ps  int64   `json:"p99_ps"`
+	P999Ps int64   `json:"p999_ps"`
+}
+
+// admissionJSON is the v2 admission-queue block for open-loop runs.
+// MeanDepth is the time-weighted average queue depth over the measured
+// window. Omitted on closed-loop runs.
+type admissionJSON struct {
+	Arrivals  uint64  `json:"arrivals"`
+	Admitted  uint64  `json:"admitted"`
+	Shed      uint64  `json:"shed"`
+	Completed uint64  `json:"completed"`
+	MaxDepth  int     `json:"max_depth"`
+	MeanDepth float64 `json:"mean_depth"`
 }
 
 // faultJSON carries the fault-injection counter block for runs with an
@@ -101,9 +135,35 @@ type svcJSON struct {
 }
 
 // MarshalJSON renders the Result in its versioned wire form
-// (schema_version 1; see DESIGN.md for the field reference).
+// (schema_version 2; see DESIGN.md §7 for the field reference).
 func (r Result) MarshalJSON() ([]byte, error) {
 	busy, hit, miss, other := r.Agg.Normalized(r.Agg.Total())
+	var lj *latencyJSON
+	if r.Lat != nil {
+		lj = &latencyJSON{
+			Count:  r.Lat.Count(),
+			MeanPs: r.Lat.Mean(),
+			MinPs:  r.Lat.Min(),
+			MaxPs:  r.Lat.Max(),
+			P50Ps:  r.Lat.Quantile(0.50),
+			P90Ps:  r.Lat.Quantile(0.90),
+			P99Ps:  r.Lat.Quantile(0.99),
+			P999Ps: r.Lat.Quantile(0.999),
+		}
+	}
+	var aj *admissionJSON
+	if r.Admission != nil {
+		aj = &admissionJSON{
+			Arrivals:  r.Admission.Arrivals,
+			Admitted:  r.Admission.Admitted,
+			Shed:      r.Admission.Shed,
+			Completed: r.Admission.Completed,
+			MaxDepth:  r.Admission.MaxDepth,
+		}
+		if r.Elapsed > 0 {
+			aj.MeanDepth = float64(r.Admission.DepthIntegral) / float64(r.Elapsed)
+		}
+	}
 	var fj *faultJSON
 	if r.Faults != nil {
 		fj = &faultJSON{
@@ -167,7 +227,9 @@ func (r Result) MarshalJSON() ([]byte, error) {
 			Remote:      r.Svc[4],
 			RemoteDirty: r.Svc[5],
 		},
-		Series: r.Series,
-		Faults: fj,
+		Series:    r.Series,
+		Faults:    fj,
+		Lat:       lj,
+		Admission: aj,
 	})
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// goldenV1 is a verbatim schema_version-1 Result document (the wire
+// shape every release before v2 produced). v2 only *adds* omitempty
+// blocks, so v1 documents must keep decoding into the v2 wire struct
+// with every field intact — the compatibility contract DESIGN.md §7
+// documents for downstream consumers.
+const goldenV1 = `{
+  "schema_version": 1,
+  "name": "P8/oltp",
+  "chips": 1,
+  "cpus": 8,
+  "tx": 200,
+  "elapsed_ps": 712345678,
+  "time_per_tx_ns": 3561.7,
+  "breakdown": {
+    "busy_ps": 300000000, "l2hit_stall_ps": 150000000,
+    "l2miss_stall_ps": 200000000, "other_ps": 62345678,
+    "busy_frac": 0.42, "l2hit_frac": 0.21, "l2miss_frac": 0.28, "other_frac": 0.09
+  },
+  "l1_miss_breakdown": {"l2_hit": 1000, "l2_fwd": 400, "l2_miss": 600},
+  "page_hit_rate": 0.51,
+  "instructions": 3200000,
+  "idle_ps": 1234567,
+  "ctx_switches": 321,
+  "l2": {
+    "hits": 1000, "fwds": 400, "local_mem": 500, "remote": 80,
+    "remote_dirty": 20, "upgrades": 60, "writebacks_to_l2": 30,
+    "writebacks_to_mem": 40, "invals": 70
+  },
+  "svc": {"l1": 90000, "l2_hit": 1000, "l2_fwd": 400, "local_mem": 500,
+          "remote": 80, "remote_dirty": 20}
+}`
+
+func TestGoldenV1DocumentDecodes(t *testing.T) {
+	var doc resultJSON
+	if err := json.Unmarshal([]byte(goldenV1), &doc); err != nil {
+		t.Fatalf("v1 document no longer decodes: %v", err)
+	}
+	if doc.SchemaVersion != 1 {
+		t.Fatalf("schema_version = %d", doc.SchemaVersion)
+	}
+	if doc.Name != "P8/oltp" || doc.CPUs != 8 || doc.Tx != 200 {
+		t.Fatalf("header fields lost: %+v", doc)
+	}
+	if doc.ElapsedPs != 712345678 || doc.TimePerTxNs != 3561.7 {
+		t.Fatalf("timing fields lost: %+v", doc)
+	}
+	if doc.Breakdown.BusyPs != 300000000 || doc.Breakdown.OtherFrac != 0.09 {
+		t.Fatalf("breakdown lost: %+v", doc.Breakdown)
+	}
+	if doc.Miss.L2Fwd != 400 || doc.L2.Invals != 70 || doc.Svc.L1 != 90000 {
+		t.Fatalf("counter blocks lost: miss=%+v l2=%+v svc=%+v", doc.Miss, doc.L2, doc.Svc)
+	}
+	// The v2-only blocks must read back as "absent", not zero-filled
+	// structs — the marker a consumer uses for "closed-loop run".
+	if doc.Lat != nil || doc.Admission != nil || doc.Faults != nil || doc.Series != nil {
+		t.Fatal("v1 document grew optional blocks on decode")
+	}
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	r := Run(openExp(2.5e5))
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc resultJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != ResultSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", doc.SchemaVersion, ResultSchemaVersion)
+	}
+	if doc.Lat == nil || doc.Admission == nil {
+		t.Fatal("open-loop v2 document missing latency/admission blocks")
+	}
+	if doc.Lat.P999Ps < doc.Lat.P50Ps || doc.Lat.MaxPs < doc.Lat.P999Ps {
+		t.Fatalf("percentile ordering broken: %+v", doc.Lat)
+	}
+	if doc.Admission.Arrivals != r.Admission.Arrivals {
+		t.Fatalf("admission block mismatch: %+v vs %+v", doc.Admission, r.Admission)
+	}
+}

@@ -1,0 +1,192 @@
+// Admission queueing: the open-loop half of the kernel model. In
+// closed-loop mode every server process always has a next transaction;
+// in open-loop mode transactions *arrive* on an external stream and wait
+// in a bounded admission queue until a server process of the right
+// tenant frees up. The queue is where tail latency is born — past
+// saturation, depth (and p99) grows without bound unless the shed
+// policy drops the overflow.
+package kernel
+
+import (
+	"piranha/internal/sim"
+	"piranha/internal/stats"
+)
+
+// AdmissionStats aggregates one run's admission-queue activity.
+type AdmissionStats struct {
+	Arrivals  uint64 // transactions offered
+	Admitted  uint64 // accepted (ran or will run)
+	Shed      uint64 // dropped by the capacity bound, never executed
+	Completed uint64 // finished (latency recorded)
+	MaxDepth  int    // peak queued (not yet running) transactions
+	// DepthIntegral is ∑ depth·dt over the run; divided by elapsed time
+	// it yields the time-weighted mean queue depth.
+	DepthIntegral sim.Time
+}
+
+// Admission is the kernel's admission queue: per-tenant ticket FIFOs
+// (arrived transactions waiting for a process) and per-tenant waiter
+// FIFOs (idle open-loop processes waiting for a transaction). At most
+// one of the two is non-empty per tenant at any instant.
+type Admission struct {
+	// Capacity bounds the total queued (waiting, not running)
+	// transactions across tenants; 0 means unbounded. Arrivals past the
+	// bound are shed: counted, never executed.
+	Capacity int
+	// Lat records arrival→completion latency (queueing + service) in
+	// picoseconds.
+	Lat *stats.Quantile
+	// Stats aggregates counters; reset at the warm/measure boundary.
+	Stats AdmissionStats
+
+	series   *stats.Series
+	queues   []ticketQueue
+	waiters  [][]*Process
+	depth    int
+	lastTick sim.Time
+}
+
+// ticketQueue is a FIFO of arrival timestamps with an amortized-O(1)
+// head index.
+type ticketQueue struct {
+	arrive []sim.Time
+	head   int
+}
+
+func (q *ticketQueue) empty() bool { return q.head >= len(q.arrive) }
+
+func (q *ticketQueue) push(at sim.Time) { q.arrive = append(q.arrive, at) }
+
+func (q *ticketQueue) pop() sim.Time {
+	at := q.arrive[q.head]
+	q.head++
+	if q.head == len(q.arrive) {
+		q.arrive = q.arrive[:0]
+		q.head = 0
+	}
+	return at
+}
+
+// NewAdmission builds an admission queue for the given tenant count
+// (≥ 1) and capacity bound (0 = unbounded).
+func NewAdmission(tenants, capacity int) *Admission {
+	if tenants < 1 {
+		tenants = 1
+	}
+	return &Admission{
+		Capacity: capacity,
+		Lat:      stats.NewQuantile("arrival→completion latency (ps)"),
+		queues:   make([]ticketQueue, tenants),
+		waiters:  make([][]*Process, tenants),
+	}
+}
+
+// AttachSeries routes per-interval arrival/admitted/shed counts into an
+// interval sampler (nil detaches).
+func (a *Admission) AttachSeries(s *stats.Series) { a.series = s }
+
+// Depth returns the current queued-transaction count.
+func (a *Admission) Depth() int { return a.depth }
+
+// tick closes the depth integral up to now. Called before every depth
+// change and at finalize.
+func (a *Admission) tick(now sim.Time) {
+	if now > a.lastTick {
+		a.Stats.DepthIntegral += sim.Time(a.depth) * (now - a.lastTick)
+		a.lastTick = now
+	}
+}
+
+// take pops the oldest queued ticket for a tenant, if any.
+func (a *Admission) take(tenant int, now sim.Time) (sim.Time, bool) {
+	q := &a.queues[tenant]
+	if q.empty() {
+		return 0, false
+	}
+	a.tick(now)
+	at := q.pop()
+	a.depth--
+	return at, true
+}
+
+// wait registers an idle open-loop process at the back of its tenant's
+// waiter FIFO.
+func (a *Admission) wait(p *Process) {
+	a.waiters[p.tenant] = append(a.waiters[p.tenant], p)
+}
+
+// complete records one finished transaction's end-to-end latency.
+func (a *Admission) complete(p *Process, now sim.Time) {
+	a.Stats.Completed++
+	a.Lat.Observe(int64(now - p.txArrive))
+}
+
+// ResetStats clears counters and the latency sketch at the warm/measure
+// boundary without disturbing queue contents: in-flight and queued
+// transactions carry over, exactly like cache state does.
+func (a *Admission) ResetStats(now sim.Time) {
+	a.Stats = AdmissionStats{MaxDepth: a.depth}
+	a.Lat.Reset()
+	a.lastTick = now
+}
+
+// Finalize closes the depth integral at the end of the measured window.
+func (a *Admission) Finalize(now sim.Time) { a.tick(now) }
+
+// SetAdmission installs the admission queue on the kernel; open-loop
+// spawns and arrivals require it.
+func (k *Kernel) SetAdmission(a *Admission) { k.adm = a }
+
+// Admission returns the installed admission queue (nil in closed-loop
+// runs).
+func (k *Kernel) Admission() *Admission { return k.adm }
+
+// SpawnOpen creates an open-loop server process pinned to a CPU for one
+// tenant. Unlike Spawn it starts blocked, parked in the tenant's waiter
+// FIFO until a transaction arrives for it; the CPU is not kicked because
+// nothing became runnable.
+func (k *Kernel) SpawnOpen(cpuID int, s Stream, seed uint64, tenant int) *Process {
+	k.nextID++
+	p := &Process{
+		ID: k.nextID, CPU: cpuID, Stream: s,
+		rng: sim.NewRNG(seed), open: true, tenant: tenant, waitAdm: true,
+	}
+	k.procs[cpuID] = append(k.procs[cpuID], p)
+	k.adm.wait(p)
+	return p
+}
+
+// Arrive offers one transaction to a tenant at the current engine time.
+// If a waiter is free the transaction starts immediately (its queueing
+// delay is zero); otherwise it queues, or is shed at the capacity bound.
+// The arrival driver schedules one engine event per arrival, so Arrive
+// always runs at the arrival's exact timestamp.
+func (k *Kernel) Arrive(tenant int) {
+	a := k.adm
+	now := k.eng.Now()
+	a.Stats.Arrivals++
+	if ws := a.waiters[tenant]; len(ws) > 0 {
+		p := ws[0]
+		a.waiters[tenant] = ws[1:]
+		a.Stats.Admitted++
+		a.series.AddArrival(now, false)
+		p.waitAdm = false
+		p.ready = true
+		p.txArrive = now
+		k.kick(p.CPU)
+		return
+	}
+	if a.Capacity > 0 && a.depth >= a.Capacity {
+		a.Stats.Shed++
+		a.series.AddArrival(now, true)
+		return
+	}
+	a.Stats.Admitted++
+	a.series.AddArrival(now, false)
+	a.tick(now)
+	a.queues[tenant].push(now)
+	a.depth++
+	if a.depth > a.Stats.MaxDepth {
+		a.Stats.MaxDepth = a.depth
+	}
+}

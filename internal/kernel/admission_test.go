@@ -1,0 +1,194 @@
+package kernel
+
+import (
+	"testing"
+
+	"piranha/internal/sim"
+	"piranha/internal/stats"
+)
+
+// openRig builds a 1-tenant open-loop rig: nCPU CPUs, procs open
+// processes per CPU, the given admission capacity.
+func openRig(nCPU, procs, capacity int) (*sim.Engine, *Kernel) {
+	eng, k := newRig(nCPU)
+	k.SetAdmission(NewAdmission(1, capacity))
+	for c := 0; c < nCPU; c++ {
+		for i := 0; i < procs; i++ {
+			k.SpawnOpen(c, &loopStream{n: 1000, perTx: 4}, uint64(c*procs+i+1), 0)
+		}
+	}
+	return eng, k
+}
+
+// offer schedules one Arrive event per timestamp.
+func offer(eng *sim.Engine, k *Kernel, times ...sim.Time) {
+	for _, at := range times {
+		eng.Schedule(at, func() { k.Arrive(0) })
+	}
+}
+
+func TestAdmissionBasicOpenLoop(t *testing.T) {
+	eng, k := openRig(1, 2, 0)
+	// Arrivals far apart: no queueing, every latency is pure service
+	// time (~5 compute ops × 1000 instr @ 500 MHz = 10 µs).
+	offer(eng, k, 1*sim.Microsecond, 30*sim.Microsecond, 60*sim.Microsecond, 90*sim.Microsecond)
+	k.RunTx(4)
+	a := k.Admission()
+	if a.Stats.Arrivals != 4 || a.Stats.Admitted != 4 || a.Stats.Shed != 0 || a.Stats.Completed != 4 {
+		t.Fatalf("stats: %+v", a.Stats)
+	}
+	if k.Tx != 4 {
+		t.Fatalf("tx=%d", k.Tx)
+	}
+	if min := a.Lat.Min(); min < 9*int64(sim.Microsecond) || min > 15*int64(sim.Microsecond) {
+		t.Fatalf("unqueued latency %d ps outside service-time window", min)
+	}
+	if a.Stats.MaxDepth != 0 {
+		t.Fatalf("depth should stay 0 with spaced arrivals: %+v", a.Stats)
+	}
+}
+
+func TestAdmissionQueueingRaisesLatency(t *testing.T) {
+	// One process, burst of arrivals at t≈0: each waits for all previous
+	// transactions, so latencies form a staircase and depth peaks.
+	eng, k := openRig(1, 1, 0)
+	offer(eng, k, 1, 2, 3, 4, 5, 6)
+	k.RunTx(6)
+	a := k.Admission()
+	if a.Stats.Completed != 6 {
+		t.Fatalf("completed %d", a.Stats.Completed)
+	}
+	if a.Stats.MaxDepth != 5 {
+		t.Fatalf("max depth %d, want 5 (one running, five queued)", a.Stats.MaxDepth)
+	}
+	if a.Lat.Max() < 5*a.Lat.Min() {
+		t.Fatalf("queueing staircase missing: min %d max %d", a.Lat.Min(), a.Lat.Max())
+	}
+	if a.Stats.DepthIntegral == 0 {
+		t.Fatal("depth integral not accumulated")
+	}
+}
+
+func TestAdmissionShedAtCapacity(t *testing.T) {
+	eng, k := openRig(1, 1, 2)
+	offer(eng, k, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	k.RunTx(3)
+	a := k.Admission()
+	// First arrival grabs the lone waiter, the next two queue (capacity
+	// 2), the remaining seven are shed before any transaction finishes.
+	if a.Stats.Arrivals != 10 || a.Stats.Admitted != 3 || a.Stats.Shed != 7 {
+		t.Fatalf("stats: %+v", a.Stats)
+	}
+	if a.Stats.Admitted+a.Stats.Shed != a.Stats.Arrivals {
+		t.Fatalf("arrival conservation violated: %+v", a.Stats)
+	}
+	if k.Tx != 3 {
+		t.Fatalf("tx=%d, shed transactions must never execute", k.Tx)
+	}
+}
+
+func TestAdmissionIdleCPURevives(t *testing.T) {
+	// A long quiet gap parks every process with no pending wakeups — the
+	// CPU loop goes fully dormant — and a late arrival must revive it.
+	eng, k := openRig(1, 2, 0)
+	offer(eng, k, 1*sim.Microsecond, 5*sim.Millisecond)
+	k.RunTx(2)
+	a := k.Admission()
+	if a.Stats.Completed != 2 {
+		t.Fatalf("late arrival not served: %+v", a.Stats)
+	}
+	if eng.Now() < 5*sim.Millisecond {
+		t.Fatalf("run ended at %d before the late arrival", eng.Now())
+	}
+}
+
+func TestAdmissionSeriesRows(t *testing.T) {
+	eng, k := openRig(1, 1, 1)
+	s := stats.NewSeries(10 * sim.Microsecond)
+	k.Admission().AttachSeries(s)
+	offer(eng, k, 1, 2, 3, 15*sim.Microsecond)
+	k.RunTx(3)
+	var arr, adm, shed uint64
+	for _, b := range s.Bins {
+		arr += b.Arrivals
+		adm += b.Admitted
+		shed += b.Shed
+	}
+	if arr != 4 || adm != 3 || shed != 1 {
+		t.Fatalf("series rows arrivals=%d admitted=%d shed=%d", arr, adm, shed)
+	}
+}
+
+func TestAdmissionMultiTenant(t *testing.T) {
+	// Two tenants with separate pools: tenant 1's arrivals never run on
+	// tenant 0's processes.
+	eng, k := newRig(1)
+	k.SetAdmission(NewAdmission(2, 0))
+	s0 := &loopStream{n: 1000, perTx: 4}
+	s1 := &loopStream{n: 1000, perTx: 4}
+	k.SpawnOpen(0, s0, 1, 0)
+	k.SpawnOpen(0, s1, 2, 1)
+	eng.Schedule(1, func() { k.Arrive(0) })
+	eng.Schedule(2, func() { k.Arrive(0) })
+	eng.Schedule(3, func() { k.Arrive(1) })
+	k.RunTx(3)
+	a := k.Admission()
+	if a.Stats.Completed != 3 {
+		t.Fatalf("completed %d", a.Stats.Completed)
+	}
+	// s0 ran 2 transactions (10 ops + marks), s1 ran 1.
+	if s0.counter <= s1.counter {
+		t.Fatalf("tenant pools not isolated: s0=%d s1=%d ops", s0.counter, s1.counter)
+	}
+}
+
+func TestAdmissionResetStatsKeepsQueue(t *testing.T) {
+	eng, k := openRig(1, 1, 0)
+	offer(eng, k, 1, 2, 3, 4)
+	k.RunTx(1)
+	a := k.Admission()
+	queued := a.Depth()
+	if queued == 0 {
+		t.Fatal("expected queued transactions at reset point")
+	}
+	a.ResetStats(eng.Now())
+	if a.Stats.Arrivals != 0 || a.Stats.Completed != 0 || a.Lat.Count() != 0 {
+		t.Fatalf("reset left counters: %+v", a.Stats)
+	}
+	if a.Depth() != queued {
+		t.Fatal("reset disturbed queue contents")
+	}
+	if a.Stats.MaxDepth != queued {
+		t.Fatalf("post-reset MaxDepth %d, want carried depth %d", a.Stats.MaxDepth, queued)
+	}
+	k.RunTx(4)
+	if a.Stats.Completed != 3 {
+		t.Fatalf("carried transactions not completed: %+v", a.Stats)
+	}
+}
+
+func TestAdmissionDeterministicRerun(t *testing.T) {
+	run := func() (AdmissionStats, stats.Quantile, sim.Time) {
+		eng, k := openRig(2, 2, 4)
+		r := sim.NewRNG(77)
+		at := sim.Time(0)
+		var times []sim.Time
+		for i := 0; i < 200; i++ {
+			at += sim.Time(1 + r.Intn(int(8*sim.Microsecond)))
+			times = append(times, at)
+		}
+		offer(eng, k, times...)
+		k.RunTx(100)
+		a := k.Admission()
+		a.Finalize(eng.Now())
+		return a.Stats, *a.Lat, eng.Now()
+	}
+	s1, l1, t1 := run()
+	s2, l2, t2 := run()
+	if s1 != s2 || l1 != l2 || t1 != t2 {
+		t.Fatalf("rerun diverged:\n%+v\n%+v", s1, s2)
+	}
+	if s1.Shed == 0 || s1.Completed == 0 {
+		t.Fatalf("scenario not exercising shed+completion: %+v", s1)
+	}
+}

@@ -46,6 +46,14 @@ type Process struct {
 	rng    *sim.RNG
 	ready  bool
 	wakeAt sim.Time
+
+	// Open-loop fields (see admission.go). An open process executes one
+	// admitted transaction at a time: between transactions it parks in
+	// its tenant's waiter FIFO (waitAdm) instead of looping.
+	open     bool
+	tenant   int
+	waitAdm  bool
+	txArrive sim.Time // arrival timestamp of the transaction being run
 }
 
 // Kernel drives the cores.
@@ -57,7 +65,8 @@ type Kernel struct {
 	cur   []int        // round-robin position per CPU
 	live  []bool       // per-CPU loop scheduled
 
-	tr *trace.Tracer
+	tr  *trace.Tracer
+	adm *Admission // nil in closed-loop runs
 
 	// Tx counts committed transactions (KTxMark ops).
 	Tx uint64
@@ -126,15 +135,20 @@ func (k *Kernel) dispatch(cpuID int) {
 
 	p := k.pick(cpuID)
 	if p == nil {
-		// Idle: sleep until the earliest wakeup, if any.
+		// Idle: sleep until the earliest wakeup, if any. Processes parked
+		// on the admission queue have no wakeup time — an arrival kicks
+		// the CPU directly — so they must not drag wake to zero here.
 		var wake sim.Time
 		for _, q := range k.procs[cpuID] {
+			if q.waitAdm {
+				continue
+			}
 			if !q.ready && (wake == 0 || q.wakeAt < wake) {
 				wake = q.wakeAt
 			}
 		}
 		if wake == 0 {
-			return // nothing will ever run here again
+			return // nothing will run here until an external kick
 		}
 		if wake < now {
 			wake = now
@@ -157,6 +171,28 @@ func (k *Kernel) dispatch(cpuID int) {
 		switch op.Kind {
 		case cpu.KTxMark:
 			k.Tx++
+			if p.open {
+				k.adm.complete(p, now)
+				if at, ok := k.adm.take(p.tenant, now); ok {
+					// A transaction is already queued: the process rolls
+					// straight into it, inheriting its arrival time.
+					p.txArrive = at
+					break
+				}
+				// Nothing queued: park in the waiter FIFO until the next
+				// arrival for this tenant, yielding the CPU meanwhile.
+				p.ready = false
+				p.waitAdm = true
+				k.adm.wait(p)
+				now = k.contextSwitch(core, now)
+				next := k.pick(cpuID)
+				if next == nil {
+					k.eng.Schedule(now, func() { k.dispatch(cpuID) })
+					k.live[cpuID] = true
+					return
+				}
+				p = next
+			}
 		case cpu.KIO:
 			p.ready = false
 			p.wakeAt = now + op.IODelay
@@ -191,10 +227,12 @@ func (k *Kernel) dispatch(cpuID int) {
 }
 
 // wakeSleepers marks due processes ready as local time advances within a
-// quantum (their engine wake events may still be pending).
+// quantum (their engine wake events may still be pending). Admission
+// waiters are exempt: they have no due time and only an arrival (via
+// Arrive) may unpark them.
 func (k *Kernel) wakeSleepers(cpuID int, now sim.Time) {
 	for _, q := range k.procs[cpuID] {
-		if !q.ready && q.wakeAt <= now {
+		if !q.ready && !q.waitAdm && q.wakeAt <= now {
 			q.ready = true
 		}
 	}

@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"piranha/internal/sim"
+)
+
+// exactQuantile computes the true order statistic the sketch approximates.
+func exactQuantile(sorted []int64, p float64) int64 {
+	rank := int(p * float64(len(sorted)-1))
+	return sorted[rank]
+}
+
+// checkAccuracy asserts every headline percentile is within the sketch's
+// relative-error bound of the exact order statistic.
+func checkAccuracy(t *testing.T, name string, samples []int64) {
+	t.Helper()
+	q := NewQuantile(name)
+	for _, v := range samples {
+		q.Observe(v)
+	}
+	sorted := append([]int64(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, p := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := q.Quantile(p)
+		want := exactQuantile(sorted, p)
+		// The bucket bound is 2^-5; the rank estimate can additionally
+		// land one sample off, so compare against the neighbors too.
+		lo, hi := want, want
+		if r := int(p * float64(len(sorted)-1)); r > 0 {
+			lo = sorted[r-1]
+		}
+		if r := int(p*float64(len(sorted)-1)) + 1; r < len(sorted) {
+			hi = sorted[r+0]
+		}
+		tol := 1.0 / 32
+		if float64(got) < float64(lo)*(1-tol)-1 || float64(got) > float64(hi)*(1+tol)+1 {
+			t.Errorf("%s p%g: got %d, exact %d (window [%d,%d], tol %.3f)",
+				name, p*100, got, want, lo, hi, tol)
+		}
+	}
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	r := sim.NewRNG(42)
+	samples := make([]int64, 20000)
+	for i := range samples {
+		samples[i] = int64(r.Intn(1_000_000)) + 1
+	}
+	checkAccuracy(t, "uniform", samples)
+}
+
+func TestQuantileAccuracyExponential(t *testing.T) {
+	r := sim.NewRNG(43)
+	samples := make([]int64, 20000)
+	for i := range samples {
+		u := r.Float64()
+		samples[i] = int64(-math.Log(1-u) * 250_000)
+	}
+	checkAccuracy(t, "exponential", samples)
+}
+
+func TestQuantileAccuracySmallValues(t *testing.T) {
+	// Values below 2^5 land in exact unit buckets: quantiles are exact.
+	q := NewQuantile("small")
+	for v := int64(0); v < 32; v++ {
+		q.Observe(v)
+	}
+	if got := q.Quantile(0.5); got != 15 {
+		t.Errorf("p50 of 0..31: got %d, want 15", got)
+	}
+	if got := q.Quantile(1); got != 31 {
+		t.Errorf("p100: got %d, want 31", got)
+	}
+	if got := q.Quantile(0); got != 0 {
+		t.Errorf("p0: got %d, want 0", got)
+	}
+}
+
+func TestQuantileDeterminism(t *testing.T) {
+	build := func() *Quantile {
+		r := sim.NewRNG(7)
+		q := NewQuantile("d")
+		for i := 0; i < 5000; i++ {
+			q.Observe(int64(r.Intn(1 << 40)))
+		}
+		return q
+	}
+	a, b := build(), build()
+	if *a != *b {
+		t.Fatal("identical observation sequences produced different sketches")
+	}
+}
+
+func TestQuantileOrderInvariance(t *testing.T) {
+	r := sim.NewRNG(9)
+	samples := make([]int64, 4096)
+	for i := range samples {
+		samples[i] = int64(r.Intn(1 << 30))
+	}
+	fwd, rev := NewQuantile("x"), NewQuantile("x")
+	for _, v := range samples {
+		fwd.Observe(v)
+	}
+	for i := len(samples) - 1; i >= 0; i-- {
+		rev.Observe(samples[i])
+	}
+	if *fwd != *rev {
+		t.Fatal("observation order changed sketch state")
+	}
+}
+
+func TestQuantileMergeOrderInvariance(t *testing.T) {
+	r := sim.NewRNG(11)
+	parts := make([]*Quantile, 4)
+	for i := range parts {
+		parts[i] = NewQuantile("part")
+		for j := 0; j < 1000*(i+1); j++ {
+			parts[i].Observe(int64(r.Intn(1 << 35)))
+		}
+	}
+	ab := NewQuantile("m")
+	for _, p := range parts {
+		ab.Merge(p)
+	}
+	ba := NewQuantile("m")
+	for i := len(parts) - 1; i >= 0; i-- {
+		ba.Merge(parts[i])
+	}
+	if *ab != *ba {
+		t.Fatal("merge order changed sketch state")
+	}
+	// Merging must equal observing the union directly.
+	var total uint64
+	for _, p := range parts {
+		total += p.Count()
+	}
+	if ab.Count() != total {
+		t.Fatalf("merged count %d, want %d", ab.Count(), total)
+	}
+}
+
+func TestQuantileEmptySentinel(t *testing.T) {
+	q := NewQuantile("empty")
+	if q.Count() != 0 || q.Min() != 0 || q.Max() != 0 || q.Mean() != 0 {
+		t.Errorf("empty sketch leaks sentinels: %s", q)
+	}
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		if got := q.Quantile(p); got != 0 {
+			t.Errorf("empty p%g = %d, want 0", p*100, got)
+		}
+	}
+	if s := q.String(); s != "empty: n=0 mean=0.0 min=0 max=0" {
+		t.Errorf("empty String = %q", s)
+	}
+	// Merging an empty sketch is a no-op.
+	o := NewQuantile("o")
+	o.Observe(100)
+	before := *o
+	o.Merge(q)
+	if *o != before {
+		t.Error("merging an empty sketch changed state")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := sim.NewRNG(13)
+	q := NewQuantile("mono")
+	for i := 0; i < 10000; i++ {
+		q.Observe(int64(r.Intn(1 << 45)))
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		v := q.Quantile(p)
+		if v < prev {
+			t.Fatalf("quantile not monotone: p=%.2f gives %d < %d", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestQuantileNegativeClamp(t *testing.T) {
+	q := NewQuantile("neg")
+	q.Observe(-50)
+	if q.Min() != 0 || q.Max() != 0 || q.Count() != 1 {
+		t.Errorf("negative sample not clamped: %s", q)
+	}
+}
+
+func TestQuantileReset(t *testing.T) {
+	q := NewQuantile("r")
+	q.Observe(12345)
+	q.Reset()
+	fresh := NewQuantile("r")
+	if *q != *fresh {
+		t.Error("Reset did not restore fresh state")
+	}
+}
+
+func TestQuantileBucketBounds(t *testing.T) {
+	// Every representative value must land in a bucket whose upper bound
+	// is ≥ the value and within the relative-error contract.
+	for _, v := range []int64{0, 1, 31, 32, 33, 63, 64, 65, 1000, 1 << 20, 1<<40 + 12345, 1<<62 + 999} {
+		b := qBucket(v)
+		up := qUpper(b)
+		if up < v {
+			t.Errorf("v=%d: bucket upper bound %d below value", v, up)
+		}
+		if v >= 32 && float64(up-v) > float64(v)/32+1 {
+			t.Errorf("v=%d: bucket upper bound %d exceeds error contract", v, up)
+		}
+		if b > 0 && qUpper(b-1) >= v {
+			t.Errorf("v=%d: previous bucket %d upper bound %d also covers value", v, b-1, qUpper(b-1))
+		}
+	}
+}

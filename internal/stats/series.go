@@ -38,6 +38,12 @@ type Bin struct {
 
 	Recoveries uint64   `json:"recoveries,omitempty"`  // TSRF timeout recoveries completed
 	RecoveryPs sim.Time `json:"recovery_ps,omitempty"` // time those transactions spent recovering
+
+	// Open-loop arrival accounting (omitempty: closed-loop runs
+	// serialize exactly as before).
+	Arrivals uint64 `json:"arrivals,omitempty"` // transactions offered this interval
+	Admitted uint64 `json:"admitted,omitempty"` // accepted into the admission queue
+	Shed     uint64 `json:"shed,omitempty"`     // dropped by the bounded-queue shed policy
 }
 
 // NewSeries returns a sampler with the given bin width (which must be
@@ -125,6 +131,25 @@ func (s *Series) AddRecovery(at, latency sim.Time) {
 	bin := s.ensure(int((at - s.Origin) / s.Interval))
 	bin.Recoveries++
 	bin.RecoveryPs += latency
+}
+
+// AddArrival records one open-loop transaction arrival at the given
+// instant; shed marks arrivals dropped by the admission queue's bound.
+// Pre-origin instants are dropped, as in AddAccess.
+func (s *Series) AddArrival(at sim.Time, shed bool) {
+	if s == nil {
+		return
+	}
+	if at < s.Origin {
+		return
+	}
+	bin := s.ensure(int((at - s.Origin) / s.Interval))
+	bin.Arrivals++
+	if shed {
+		bin.Shed++
+	} else {
+		bin.Admitted++
+	}
 }
 
 // Reset discards all bins in place (keeping the backing array) and
@@ -215,6 +240,9 @@ func (s *Series) String() string {
 	if vals, any := s.recoveryValues(); any {
 		fmt.Fprintf(&b, "  recovery  |%s|\n", Sparkline(vals))
 	}
+	if vals, any := s.arrivalValues(); any {
+		fmt.Fprintf(&b, "  arrivals  |%s|\n", Sparkline(vals))
+	}
 	return b.String()
 }
 
@@ -226,6 +254,20 @@ func (s *Series) recoveryValues() ([]float64, bool) {
 	for i, b := range s.Bins {
 		out[i] = float64(b.Recoveries)
 		if b.Recoveries > 0 {
+			any = true
+		}
+	}
+	return out, any
+}
+
+// arrivalValues returns per-bin arrival counts and whether any bin saw
+// an arrival (closed-loop runs keep the String output unchanged).
+func (s *Series) arrivalValues() ([]float64, bool) {
+	out := make([]float64, s.Len())
+	any := false
+	for i, b := range s.Bins {
+		out[i] = float64(b.Arrivals)
+		if b.Arrivals > 0 {
 			any = true
 		}
 	}

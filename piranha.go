@@ -36,6 +36,7 @@ import (
 
 	"piranha/internal/core"
 	"piranha/internal/fault"
+	"piranha/internal/kernel"
 	"piranha/internal/ras"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
@@ -62,6 +63,27 @@ type FaultPlan = fault.Plan
 
 // FaultStats is the per-run fault counter block (Result.Faults).
 type FaultStats = fault.Stats
+
+// Arrivals describes an open-loop arrival stream: the process shape
+// (Poisson, bursty MMPP, diurnal), the mean offered rate in transactions
+// per second of simulated time, the admission-queue capacity, and an
+// optional multi-tenant mix. The zero value is the classic closed-loop
+// mode. See WithArrivals.
+type Arrivals = workload.ArrivalSpec
+
+// TenantShare is one entry of a multi-tenant Arrivals.Mix.
+type TenantShare = workload.TenantShare
+
+// AdmissionStats is the per-run admission-queue counter block
+// (Result.Admission) for open-loop runs.
+type AdmissionStats = kernel.AdmissionStats
+
+// Arrival process names for Arrivals.Process.
+const (
+	ArrivalPoisson = workload.ArrivalPoisson
+	ArrivalMMPP    = workload.ArrivalMMPP
+	ArrivalDiurnal = workload.ArrivalDiurnal
+)
 
 // Workload constructors for the paper's four workload families.
 
@@ -202,6 +224,24 @@ func WithFaults(p FaultPlan) Option {
 	}
 }
 
+// WithArrivals switches the run to open-loop: transactions arrive on
+// the described deterministic seeded stochastic process, wait in the
+// kernel's bounded admission queue for a server process (shedding past
+// the capacity bound), and Result grows Lat (an arrival→completion
+// latency sketch reporting p50/p90/p99/p999) and Admission blocks.
+// A zero-rate spec is inert: the run is byte-identical to one without
+// this option — the same contract as WithFaults.
+func WithArrivals(a Arrivals) Option {
+	return func(rc *runConfig) { rc.exp.Work.Arrivals = a }
+}
+
+// WithOfferedLoad is shorthand for WithArrivals with a Poisson stream at
+// rate transactions per second of simulated time and an unbounded
+// admission queue.
+func WithOfferedLoad(rate float64) Option {
+	return func(rc *runConfig) { rc.exp.Work.Arrivals = Arrivals{Rate: rate} }
+}
+
 // Run simulates one workload on one machine configuration. Options
 // configure scale, seed, naming, interval metrics and tracing; the
 // zero-option call runs the library defaults (200 measured transactions,
@@ -233,36 +273,6 @@ func Run(sys SystemConfig, w Workload, opts ...Option) Result {
 // RunExperiment executes a fully-specified experiment descriptor (the
 // escape hatch under the option API; RunBatch consumes the same type).
 func RunExperiment(e Experiment) Result { return core.Run(e) }
-
-// RunOLTP measures the TPC-B-style workload: warm transactions of cache
-// warmup, then measure transactions of measurement.
-//
-// Deprecated: use Run(sys, OLTP(), WithScale(Scale{warm, measure})).
-func RunOLTP(sys SystemConfig, warm, measure uint64) Result {
-	return Run(sys, OLTP(), WithScale(Scale{Warm: warm, Measure: measure}))
-}
-
-// RunDSS measures the TPC-D Query-6-style scan.
-//
-// Deprecated: use Run(sys, DSS(), WithScale(Scale{warm, measure})).
-func RunDSS(sys SystemConfig, warm, measure uint64) Result {
-	return Run(sys, DSS(), WithScale(Scale{Warm: warm, Measure: measure}))
-}
-
-// RunWeb measures the §6 AltaVista-style search workload, which behaves
-// like DSS: compute-bound index scans with abundant thread parallelism.
-//
-// Deprecated: use Run(sys, Web(), WithScale(Scale{warm, measure})).
-func RunWeb(sys SystemConfig, warm, measure uint64) Result {
-	return Run(sys, Web(), WithScale(Scale{Warm: warm, Measure: measure}))
-}
-
-// RunTPCC measures the heavier TPC-C-style mix.
-//
-// Deprecated: use Run(sys, TPCC(), WithScale(Scale{warm, measure})).
-func RunTPCC(sys SystemConfig, warm, measure uint64) Result {
-	return Run(sys, TPCC(), WithScale(Scale{Warm: warm, Measure: measure}))
-}
 
 // RunBatch executes independent experiments concurrently on a bounded
 // worker pool (see SetParallelism) and returns results in input order.

@@ -8,7 +8,7 @@ import (
 var tiny = Scale{Warm: 20, Measure: 40}
 
 func TestQuickstartPath(t *testing.T) {
-	r := RunOLTP(P8(), tiny.Warm, tiny.Measure)
+	r := Run(P8(), OLTP(), WithScale(tiny))
 	if r.CPUs != 8 || r.Tx != tiny.Measure || r.TimePerTx <= 0 {
 		t.Fatalf("result %+v", r)
 	}
@@ -152,8 +152,8 @@ func TestWebBehavesLikeDSS(t *testing.T) {
 	// §6: search-engine workloads behave like DSS — Piranha's speedup
 	// over OOO should land in DSS territory (well above 1, compute-
 	// dominated), not OLTP territory.
-	p8 := RunWeb(P8(), 20, 60)
-	ooo := RunWeb(OOO(), 20, 60)
+	p8 := Run(P8(), Web(), WithScale(Scale{Warm: 20, Measure: 60}))
+	ooo := Run(OOO(), Web(), WithScale(Scale{Warm: 20, Measure: 60}))
 	sp := ooo.TimePerTx / p8.TimePerTx
 	if sp < 1.5 || sp > 3.5 {
 		t.Fatalf("web speedup %v, want DSS-like (~2.3)", sp)

@@ -119,17 +119,6 @@ func TestRunOptionsMatchExperiment(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersMatchRun keeps the old positional entry points
-// behaviourally identical to the option API they now wrap.
-func TestDeprecatedWrappersMatchRun(t *testing.T) {
-	if RunOLTP(P4(), tiny.Warm, tiny.Measure) != Run(P4(), OLTP(), WithScale(tiny)) {
-		t.Fatal("RunOLTP diverged from Run")
-	}
-	if RunDSS(P4(), tiny.Warm, tiny.Measure) != Run(P4(), DSS(), WithScale(tiny)) {
-		t.Fatal("RunDSS diverged from Run")
-	}
-}
-
 // TestWithTraceWritesChromeJSON exercises the WithTrace option end to
 // end and its determinism across calls.
 func TestWithTraceWritesChromeJSON(t *testing.T) {
