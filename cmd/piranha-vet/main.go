@@ -6,6 +6,7 @@
 // Usage:
 //
 //	piranha-vet ./...                  # whole module (the CI gate)
+//	piranha-vet -json ./...            # findings as a JSON array
 //	piranha-vet ./internal/... figures.go piranha.go
 //
 // Patterns select which files' findings are reported (the whole module
@@ -13,9 +14,14 @@
 // `./dir/...` a subtree, `./dir` one directory, and a `*.go` path one
 // file. Exit status is 0 when clean, 1 when findings remain, 2 on a
 // load or usage error.
+//
+// With -json the findings are emitted as a JSON array on stdout (empty
+// array when clean) in the same shape piranha-mc -json uses, so one
+// consumer handles both tools.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path"
@@ -25,7 +31,9 @@ import (
 )
 
 func main() {
-	patterns := os.Args[1:]
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -42,15 +50,24 @@ func main() {
 	}
 
 	diags := lint.Run(mod, lint.DefaultAnalyzers())
-	n := 0
+	var kept []lint.Diagnostic
 	for _, d := range diags {
 		if matchAny(patterns, d.File) {
-			fmt.Println(d)
-			n++
+			kept = append(kept, d)
 		}
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "piranha-vet: %d finding(s)\n", n)
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, kept); err != nil {
+			fmt.Fprintln(os.Stderr, "piranha-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range kept {
+			fmt.Println(d)
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "piranha-vet: %d finding(s)\n", len(kept))
 		os.Exit(1)
 	}
 }

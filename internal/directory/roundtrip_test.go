@@ -1,0 +1,80 @@
+package directory
+
+import "testing"
+
+// The model checker (internal/mcheck) routes every directory update of
+// its micro-systems through Encode/Decode, so the codec must be exact
+// for every sharer-bitset shape reachable at 2–4 nodes. This test is
+// the static counterpart: exhaustively enumerate all subsets at each
+// size and require a perfect round-trip for every encodable state.
+func TestExhaustiveRoundTripSmallSystems(t *testing.T) {
+	for nodes := 2; nodes <= 4; nodes++ {
+		cfg := Config{Nodes: nodes}
+
+		// Uncached ignores the body entirely.
+		bits, err := Encode(cfg, Clear())
+		if err != nil {
+			t.Fatalf("nodes=%d: Encode(Clear) failed: %v", nodes, err)
+		}
+		if got := Decode(cfg, bits); got.State != Uncached || got.Sharers.Count() != 0 {
+			t.Errorf("nodes=%d: uncached round-trip gave %+v", nodes, got)
+		}
+
+		// Exclusive: every possible owner.
+		for owner := 0; owner < nodes; owner++ {
+			e := Entry{State: Exclusive, Owner: NodeID(owner)}
+			bits, err := Encode(cfg, e)
+			if err != nil {
+				t.Fatalf("nodes=%d owner=%d: %v", nodes, owner, err)
+			}
+			got := Decode(cfg, bits)
+			if got.State != Exclusive || got.Owner != NodeID(owner) {
+				t.Errorf("nodes=%d: exclusive owner %d round-trips to %+v", nodes, owner, got)
+			}
+		}
+
+		// Shared and SharedCoarse: every non-empty subset of nodes. At
+		// these sizes the subset count (≤ MaxPointers) always fits the
+		// limited-pointer form, and each coarse-vector group covers one
+		// node, so both representations must be exact.
+		if g := cfg.GroupSize(); g != 1 {
+			t.Fatalf("nodes=%d: group size %d, want 1 (coarse form would be lossy)", nodes, g)
+		}
+		for mask := 1; mask < 1<<nodes; mask++ {
+			var want NodeSet
+			for i := 0; i < nodes; i++ {
+				if mask&(1<<i) != 0 {
+					want.Add(NodeID(i))
+				}
+			}
+			for _, state := range []State{Shared, SharedCoarse} {
+				e := Entry{State: state, Sharers: want}
+				bits, err := Encode(cfg, e)
+				if err != nil {
+					t.Fatalf("nodes=%d mask=%b state=%v: %v", nodes, mask, state, err)
+				}
+				got := Decode(cfg, bits)
+				if got.State != state {
+					t.Errorf("nodes=%d mask=%b: state %v round-trips to %v", nodes, mask, state, got.State)
+				}
+				for i := 0; i < nodes; i++ {
+					if got.Sharers.Has(NodeID(i)) != want.Has(NodeID(i)) {
+						t.Errorf("nodes=%d state=%v: sharer set %b round-trips to %v",
+							nodes, state, mask, got.Sharers.Members(nodes))
+						break
+					}
+				}
+			}
+		}
+
+		// A shared encoding with an empty sharer set collapses to the
+		// uncached encoding rather than a count-underflowed body.
+		empty, err := Encode(cfg, Entry{State: Shared})
+		if err != nil {
+			t.Fatalf("nodes=%d: Encode(Shared, empty) failed: %v", nodes, err)
+		}
+		if got := Decode(cfg, empty); got.State != Uncached {
+			t.Errorf("nodes=%d: empty shared set decodes as %v, want Uncached", nodes, got.State)
+		}
+	}
+}

@@ -1,17 +1,28 @@
 package lint
 
+import "piranha/internal/protocol"
+
 // DefaultAnalyzers is the suite piranha-vet runs over this repository:
-// all four analyzers, with goroutine fan-out confined to the allowlist —
-// the experiment runner plus the parallel engine's phase-worker pool in
-// internal/sim — and the protocol table checked against the
-// directory-state × request-kind cross-product. Even inside the
-// allowlist, goroutines may not call Schedule/After directly; the
-// determinism analyzer holds them to the staging API.
+// the determinism, hotpath and nil-guard analyzers, plus one
+// protocol-table analyzer per registered protocol — the registry
+// (internal/protocol) names each protocol's dispatch files and enum
+// pair, so registering a rival protocol automatically puts its dispatch
+// under the same §3.5 completeness gate. Goroutine fan-out is confined
+// to the allowlist — the experiment runner plus the parallel engine's
+// phase-worker pool in internal/sim — and even inside the allowlist,
+// goroutines may not call Schedule/After directly; the determinism
+// analyzer holds them to the staging API.
 func DefaultAnalyzers() []Analyzer {
-	return []Analyzer{
+	out := []Analyzer{
 		Determinism("internal/runner", "internal/sim"),
 		Hotpath(),
-		ProtocolTable(PiranhaProto),
-		NilGuard(),
 	}
+	for _, s := range protocol.Registered() {
+		out = append(out, ProtocolTable(ProtoConfig{
+			Files:    s.Files,
+			StatePkg: s.StatePkg, StateName: s.StateName,
+			MsgPkg: s.MsgPkg, MsgName: s.MsgName,
+		}))
+	}
+	return append(out, NilGuard())
 }

@@ -1,0 +1,28 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// diagnosticJSON is the stable wire shape shared by piranha-vet -json
+// and piranha-mc -json: tooling that consumes one consumes both.
+type diagnosticJSON struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON encodes diagnostics as a JSON array (never null — an empty
+// run emits []), one object per finding in the given order. Output is
+// deterministic for a given diagnostic list.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]diagnosticJSON, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, diagnosticJSON(d))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -10,32 +10,33 @@ import (
 	"strings"
 )
 
-// ProtoConfig names the protocol dispatch file and the two enums whose
-// cross-product it must cover. Packages are module-relative directories
-// ("" means the file's own package).
+// ProtoConfig names a protocol's dispatch files and the two enums whose
+// cross-product they must cover. Packages are module-relative
+// directories ("" means the file's own package). Any registered
+// protocol (see internal/protocol) can be turned into one of these —
+// the analyzer is not tied to the shipped table.
 type ProtoConfig struct {
-	File      string // module-relative path of the dispatch file
-	StatePkg  string // package declaring the protocol-state enum
-	StateName string // its type name
-	MsgPkg    string // package declaring the message-kind enum
-	MsgName   string // its type name
+	File      string   // module-relative path of the dispatch file (used when Files is empty)
+	Files     []string // module-relative paths of every dispatch file
+	StatePkg  string   // package declaring the protocol-state enum
+	StateName string   // its type name
+	MsgPkg    string   // package declaring the message-kind enum
+	MsgName   string   // its type name
 }
 
-// PiranhaProto is this repository's protocol-table configuration: the
-// directory states of internal/directory crossed with the request kinds
-// of internal/l2, dispatched in internal/pe/transactions.go.
-var PiranhaProto = ProtoConfig{
-	File:      "internal/pe/transactions.go",
-	StatePkg:  "internal/directory",
-	StateName: "State",
-	MsgPkg:    "internal/l2",
-	MsgName:   "Kind",
+// files is the effective dispatch-file list: Files when set, else the
+// single legacy File.
+func (c ProtoConfig) files() []string {
+	if len(c.Files) > 0 {
+		return c.Files
+	}
+	return []string{c.File}
 }
 
 var nakIdent = regexp.MustCompile(`Nak|NAK`)
 
 // ProtocolTable returns the analyzer enforcing the paper's §3.5
-// protocol completeness properties on the dispatch file:
+// protocol completeness properties on each dispatch file:
 //
 //   - every switch over the state or message enum must handle every
 //     declared constant (or carry a default clause), and each
@@ -45,8 +46,11 @@ var nakIdent = regexp.MustCompile(`Nak|NAK`)
 //   - ledger entries that no longer excuse anything, or that name
 //     unknown constants, are themselves findings (the ledger may not
 //     rot);
-//   - at least one switch over each enum must exist (deleting the
-//     dispatch is not a way to pass);
+//   - the protocol's primary file — the first in the config's list,
+//     by convention its transition table — must contain at least one
+//     switch over each enum (deleting the dispatch is not a way to
+//     pass); satellite files are coverage-checked on whatever
+//     switches they do contain;
 //   - no identifier matching Nak|NAK may appear as an argument to a
 //     send call: the protocol is NAK-free by design, and this makes
 //     that a build-time property.
@@ -54,12 +58,18 @@ func ProtocolTable(cfg ProtoConfig) Analyzer {
 	return Analyzer{
 		Name: "protocoltable",
 		Run: func(m *Module, p *Package) []Diagnostic {
-			file := findFile(m, p, cfg.File)
-			if file == nil {
-				return nil
+			var out []Diagnostic
+			for i, rel := range cfg.files() {
+				file := findFile(m, p, rel)
+				if file == nil {
+					continue
+				}
+				fcfg := cfg
+				fcfg.File = rel
+				pt := &protoPass{m: m, p: p, cfg: fcfg, file: file, primary: i == 0}
+				out = append(out, pt.run()...)
 			}
-			pt := &protoPass{m: m, p: p, cfg: cfg, file: file}
-			return pt.run()
+			return out
 		},
 	}
 }
@@ -80,7 +90,11 @@ type protoPass struct {
 	p    *Package
 	cfg  ProtoConfig
 	file *ast.File
-	out  []Diagnostic
+	// primary marks the protocol's first file, which must itself contain
+	// the dispatch switches; satellite files only have the switches they
+	// do contain coverage-checked.
+	primary bool
+	out     []Diagnostic
 }
 
 type ledgerEntry struct {
@@ -122,11 +136,11 @@ func (pt *protoPass) run() []Diagnostic {
 		}
 		return true
 	})
-	if !sawState {
+	if pt.primary && !sawState {
 		pt.out = append(pt.out, pt.m.diag("protocoltable", pt.file.Pos(),
 			"%s contains no switch over %s.%s: the protocol dispatch must be switch-driven so coverage is checkable", pt.cfg.File, pt.statePkgName(), pt.cfg.StateName))
 	}
-	if !sawMsg {
+	if pt.primary && !sawMsg {
 		pt.out = append(pt.out, pt.m.diag("protocoltable", pt.file.Pos(),
 			"%s contains no switch over %s.%s: the protocol dispatch must be switch-driven so coverage is checkable", pt.cfg.File, pt.msgPkgName(), pt.cfg.MsgName))
 	}

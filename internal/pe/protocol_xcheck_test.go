@@ -1,0 +1,106 @@
+package pe
+
+import (
+	"testing"
+
+	"piranha/internal/l2"
+	"piranha/internal/protocol"
+)
+
+// These tests cross-validate the timing engines against the declarative
+// transition table: pe's per-request decisions (packet payload,
+// exclusivity of the final state, forward-vs-reply directory update)
+// must agree with the ops the table's service rules perform, because
+// the model checker verifies the table, and that verification only
+// covers the engines if the two stay in lockstep.
+
+// hitRule is the home-service rule modeling pe's common-case reply path
+// for a request kind: the Shared-directory hit (every kind has one
+// there; upgrades split into hit/miss and pe's replySize models the
+// hit).
+func hitRule(t *testing.T, tab *protocol.Table, kind l2.Kind) protocol.Rule {
+	t.Helper()
+	name := "q-" + protocol.KindSlug(kind) + "-shared"
+	if kind == l2.Upgrade {
+		name = "q-upgrade-hit-shared"
+	}
+	return ruleByName(t, tab, name)
+}
+
+func ruleByName(t *testing.T, tab *protocol.Table, name string) protocol.Rule {
+	t.Helper()
+	for _, r := range tab.Rules {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("table has no rule %q", name)
+	return protocol.Rule{}
+}
+
+func hasOp(r protocol.Rule, op protocol.Op) bool {
+	for _, o := range r.Do {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Packet payload: pe sends a long packet exactly when the table's
+// service rule replies with data.
+func TestReplySizesMatchTable(t *testing.T) {
+	tab := protocol.Piranha()
+	for _, kind := range protocol.RequestKinds {
+		r := hitRule(t, tab, kind)
+		tableData := hasOp(r, protocol.OpReplyData)
+		if grant := hasOp(r, protocol.OpReplyGrant); tableData == grant {
+			t.Fatalf("%s: rule must reply with exactly one of data/grant", r.Name)
+		}
+		peLong := replySize(kind) == LongPacket
+		if tableData != peLong {
+			t.Errorf("%v: table rule %s carries data=%v, pe sends long packet=%v",
+				kind, r.Name, tableData, peLong)
+		}
+	}
+}
+
+// Exclusivity: pe treats a request as ownership-taking exactly when the
+// table's service rule records the requester as exclusive owner (reads
+// instead apply the read-grant update).
+func TestExclusivityMatchesTable(t *testing.T) {
+	tab := protocol.Piranha()
+	for _, kind := range protocol.RequestKinds {
+		r := hitRule(t, tab, kind)
+		tableExcl := hasOp(r, protocol.OpDirSetExclusiveReq)
+		if read := hasOp(r, protocol.OpDirReadGrant); tableExcl == read {
+			t.Fatalf("%s: rule must apply exactly one directory update", r.Name)
+		}
+		if peExcl := wantsExclusive(kind); tableExcl != peExcl {
+			t.Errorf("%v: table rule %s sets exclusive=%v, pe wantsExclusive=%v",
+				kind, r.Name, tableExcl, peExcl)
+		}
+	}
+}
+
+// Forwarding: when the directory shows a remote owner, pe's three-hop
+// path grants the requester exclusivity (or shared ownership for reads)
+// at the forward point — the table's q-*-owned rules must update the
+// directory the same way.
+func TestForwardDirectoryUpdateMatchesTable(t *testing.T) {
+	tab := protocol.Piranha()
+	for _, kind := range protocol.RequestKinds {
+		r := ruleByName(t, tab, "q-"+protocol.KindSlug(kind)+"-owned")
+		if !hasOp(r, protocol.OpForwardReq) {
+			t.Fatalf("%s: owned-line service must forward", r.Name)
+		}
+		tableExcl := hasOp(r, protocol.OpDirSetExclusiveReq)
+		if peExcl := wantsExclusive(kind); tableExcl != peExcl {
+			t.Errorf("%v: forward rule %s sets exclusive=%v, pe wantsExclusive=%v",
+				kind, r.Name, tableExcl, peExcl)
+		}
+		if !wantsExclusive(kind) && !hasOp(r, protocol.OpDirShareOwnerReq) {
+			t.Errorf("%s: read forward must record owner and requester as sharers", r.Name)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"piranha/internal/directory"
 	"piranha/internal/fault"
 	"piranha/internal/l2"
+	"piranha/internal/protocol"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
 )
@@ -43,32 +44,22 @@ func (p *NodeProto) LocalDirState(line cache.LineAddr) l2.RemoteState {
 	return l2.RemoteNone
 }
 
-// wantsExclusive maps a request kind to whether the transaction must
-// end with the requester holding the line exclusively. The switch is
-// exhaustive over l2.Kind so that adding a message type without
-// deciding its ownership semantics fails piranha-vet's protocol-table
-// check rather than silently defaulting.
+// wantsExclusive and replySize defer to the declarative protocol table
+// (internal/protocol), the single source of truth for request
+// semantics; the model checker in internal/mcheck explores the same
+// table, so what the engines execute is what the checker verified.
 func wantsExclusive(kind l2.Kind) bool {
-	switch kind {
-	case l2.Read:
-		return false
-	case l2.ReadEx, l2.Upgrade, l2.ReadExNoData:
-		return true
-	}
-	panic("pe: unknown request kind")
+	return protocol.WantsExclusive(kind)
 }
 
 // replySize is the reply packet size for a request the home services:
 // data-carrying replies are a full line, while upgrades and
 // exclusive-no-data grants need only the header.
 func replySize(kind l2.Kind) int {
-	switch kind {
-	case l2.Read, l2.ReadEx:
+	if protocol.ReplyCarriesData(kind) {
 		return LongPacket
-	case l2.Upgrade, l2.ReadExNoData:
-		return ShortPacket
 	}
-	panic("pe: unknown request kind")
+	return ShortPacket
 }
 
 // Fetch implements l2.Remote: it runs a full inter-node transaction.

@@ -1,0 +1,106 @@
+package protocol
+
+import "fmt"
+
+// Mutation is one deliberately planted protocol bug for the model
+// checker's self-test: each edits a fresh copy of the piranha table in
+// a way that still passes static Validate — the bug classes here are
+// exactly the ones a transition-table review cannot catch — and names
+// the invariant the checker must trip over, with a counterexample.
+type Mutation struct {
+	Name        string
+	Description string
+	// Expect is the mcheck invariant identifier the exploration must
+	// report for the mutated table.
+	Expect string
+	apply  func(*Table)
+}
+
+// Apply returns a freshly built piranha table with the bug planted.
+func (m Mutation) Apply() *Table {
+	t := Piranha()
+	m.apply(t)
+	return t
+}
+
+// Mutations is the self-test catalog, in fixed order.
+func Mutations() []Mutation {
+	return []Mutation{
+		{
+			Name:        "drop-inval-ack",
+			Description: "a sharer invalidates its copy but never acknowledges; the requester's gather count can never drain",
+			Expect:      "ack-accounting",
+			apply: func(t *Table) {
+				dropOp(t.rule("i-shared"), OpAckRequester)
+			},
+		},
+		{
+			Name:        "wrong-reply-kind",
+			Description: "the home answers a read-exclusive from a shared line with a header-only grant instead of data; the requester installs an exclusive line it never received",
+			Expect:      "stale-fill",
+			apply: func(t *Table) {
+				swapOp(t.rule("q-write-shared"), OpReplyData, OpReplyGrant)
+			},
+		},
+		{
+			Name:        "missing-tsrf-release",
+			Description: "a fill completes the transaction but leaks its TSRF entry; occupancy never returns to zero",
+			Expect:      "tsrf-leak",
+			apply: func(t *Table) {
+				dropOp(t.rule("recv-reply"), OpReleaseTSRF)
+			},
+		},
+		{
+			Name:        "missing-dir-clear",
+			Description: "a writeback updates memory but leaves the directory pointing at the departed owner; the next request is forwarded to a node with no copy",
+			Expect:      "reached-hole",
+			apply: func(t *Table) {
+				dropOp(t.rule("w-owner"), OpDirClear)
+			},
+		},
+	}
+}
+
+// MutationByName returns the named catalog entry.
+func MutationByName(name string) (Mutation, bool) {
+	for _, m := range Mutations() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mutation{}, false
+}
+
+// rule returns a pointer to the named rule; a missing name is a bug in
+// the catalog, not a recoverable condition.
+func (t *Table) rule(name string) *Rule {
+	for i := range t.Rules {
+		if t.Rules[i].Name == name {
+			return &t.Rules[i]
+		}
+	}
+	panic(fmt.Sprintf("protocol: mutation targets unknown rule %q", name))
+}
+
+// dropOp removes one opcode from a rule's action list.
+func dropOp(r *Rule, op Op) {
+	for i, o := range r.Do {
+		if o == op {
+			r.Do = append(append([]Op{}, r.Do[:i]...), r.Do[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("protocol: rule %q has no %v to drop", r.Name, op))
+}
+
+// swapOp replaces one opcode with another in a rule's action list.
+func swapOp(r *Rule, from, to Op) {
+	for i, o := range r.Do {
+		if o == from {
+			r.Do = append([]Op{}, r.Do...)
+			r.Do[i] = to
+			return
+		}
+	}
+	panic(fmt.Sprintf("protocol: rule %q has no %v to swap", r.Name, from))
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"piranha/internal/sim"
+)
+
+// NamedEvent is a span with a free-form name, for exporters whose event
+// vocabulary is not the fixed component×kind table — the protocol model
+// checker names each counterexample step after the transition rule that
+// fired. Times follow the tracer convention (sim.Time picoseconds).
+type NamedEvent struct {
+	Name   string
+	Cat    string
+	Detail string
+	Node   uint8
+	Unit   int16
+	Start  sim.Time
+	End    sim.Time
+}
+
+// WriteChromeNamed exports named spans as a complete Chrome trace JSON
+// object, one process with the given pid and label and one thread per
+// (node, unit). The output depends only on the events and label, so it
+// is byte-identical across reruns.
+func WriteChromeNamed(w io.Writer, pid int, label string, events []NamedEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		bw.WriteString("\n")
+		bw.WriteString(s)
+	}
+	emit(fmt.Sprintf(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%q}}`, pid, label))
+	named := map[int]bool{}
+	for _, e := range events {
+		id := int(e.Node)*1000 + int(e.Unit)
+		if !named[id] {
+			named[id] = true
+			emit(fmt.Sprintf(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":"node%d[%d]"}}`,
+				pid, id, e.Node, e.Unit))
+		}
+		if e.End > e.Start {
+			emit(fmt.Sprintf(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"detail":%q}}`,
+				e.Name, e.Cat, pid, id, usec(int64(e.Start)), usec(int64(e.End-e.Start)), e.Detail))
+		} else {
+			emit(fmt.Sprintf(`{"ph":"i","s":"t","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%s,"args":{"detail":%q}}`,
+				e.Name, e.Cat, pid, id, usec(int64(e.Start)), e.Detail))
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
