@@ -1,6 +1,6 @@
 // Command piranha-bench measures the simulator's host-side performance
-// and emits a versioned JSON report (BENCH_7.json) so the repository
-// carries a committed benchmark trajectory. Three families of benchmarks
+// and emits a versioned JSON report (BENCH_9.json) so the repository
+// carries a committed benchmark trajectory. Four families of benchmarks
 // run:
 //
 //   - End-to-end: full OLTP and DSS experiments at P1 and P8, reporting
@@ -19,6 +19,11 @@
 //     P1/P8 OLTP and P8 DSS with the detected saturation multiplier.
 //     These are simulated (host-independent) numbers, deterministic for
 //     a given -seed.
+//   - Chaos: a two-chip open-loop run with one fail-stop node death,
+//     reporting MTTR and pre-fault vs post-recovery throughput from the
+//     per-interval completion bins. The harness fails if the degraded
+//     machine's post-recovery rate falls below half the pre-fault rate,
+//     or if the run's JSON diverges between -jintra 1 and 4.
 //
 // With -baseline, the micro rows are compared against a previously
 // committed report and the run fails on a >10% allocs/op regression
@@ -27,6 +32,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,19 +43,22 @@ import (
 	"piranha"
 	"piranha/internal/cache"
 	"piranha/internal/core"
+	"piranha/internal/fault"
 	"piranha/internal/ics"
 	"piranha/internal/l1"
 	"piranha/internal/l2"
 	"piranha/internal/noc"
 	"piranha/internal/pe"
+	"piranha/internal/ras"
 	"piranha/internal/sim"
+	"piranha/internal/workload"
 )
 
 // schemaVersion is the report format version; benchVersion is the PR
 // trajectory index (BENCH_<benchVersion>.json).
 const (
 	schemaVersion = 1
-	benchVersion  = 7
+	benchVersion  = 9
 )
 
 // Result is one benchmark row.
@@ -71,7 +80,7 @@ type Result struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
-// Report is the whole BENCH_6.json document.
+// Report is the whole BENCH_9.json document.
 type Report struct {
 	SchemaVersion int    `json:"schema_version"`
 	BenchVersion  int    `json:"bench_version"`
@@ -88,6 +97,31 @@ type Report struct {
 	// Sweeps holds the open-loop load-sweep curves (simulated numbers,
 	// deterministic for a given seed — unlike the host-time Suite rows).
 	Sweeps []SweepSummary `json:"sweeps,omitempty"`
+	// Chaos is the committed fail-stop robustness row (simulated,
+	// deterministic per seed).
+	Chaos *ChaosSummary `json:"chaos,omitempty"`
+}
+
+// ChaosSummary is the fail-stop row: one node of a two-chip open-loop
+// machine dies mid-measurement; the row records the recovery timeline
+// and the throughput on either side of it.
+type ChaosSummary struct {
+	Name string `json:"name"`
+	// MTTRNs is restored − onset for the single fail-stop event.
+	MTTRNs float64 `json:"mttr_ns"`
+	// CapacityFrac is the alive-CPU fraction after the death (0.5 here).
+	CapacityFrac float64 `json:"capacity_frac"`
+	Migrated     int     `json:"migrated"`
+	HomesAdopted int     `json:"homes_adopted"`
+	// PreFaultTxS and PostRecoveryTxS are completion rates over the
+	// whole bins strictly before onset and strictly after restored.
+	PreFaultTxS     float64 `json:"pre_fault_tx_s"`
+	PostRecoveryTxS float64 `json:"post_recovery_tx_s"`
+	// DegradedRatio is pre/post; the harness enforces <= 2 (the degraded
+	// half-machine must keep at least half the pre-fault rate).
+	DegradedRatio    float64 `json:"degraded_ratio"`
+	ShedRate         float64 `json:"shed_rate"`
+	SLOViolationRate float64 `json:"slo_violation_rate"`
 }
 
 // SweepSummary is one committed hockey-stick curve: throughput vs tail
@@ -134,6 +168,100 @@ func loadSweep(name string, kind core.WorkloadKind, cpus int, seed uint64, warmT
 			P99Ns:       p.P99Ns,
 			P999Ns:      p.P999Ns,
 		})
+	}
+	return sum
+}
+
+// failStopBench runs the chaos row: a two-chip open-loop OLTP machine
+// offered 0.35x its calibrated capacity loses node 1 mid-measurement.
+// The run repeats under -jintra 4 and the harness fails unless the two
+// JSON-serialized Results are byte-identical, the recovery event is
+// well-formed, and the post-recovery completion rate stays within 2x of
+// the pre-fault rate (the surviving half-machine has the headroom, and
+// the blackout backlog drains at full degraded capacity).
+func failStopBench(seed uint64) *ChaosSummary {
+	sys := core.SystemConfig{Chips: 2, Chip: core.PiranhaChip(4)}
+	cal := core.Run(core.Experiment{
+		Name: "chaos/calibrate", Sys: sys,
+		Work:   core.WorkloadSpec{Kind: core.OLTP},
+		WarmTx: 30, MeasureTx: 120, Seed: seed,
+	})
+	exp := core.Experiment{
+		Name: "chaos/failstop", Sys: sys,
+		Work: core.WorkloadSpec{Kind: core.OLTP, Arrivals: workload.ArrivalSpec{
+			Rate: 0.35 * 1e9 / cal.TimePerTx, Capacity: 256, RetryBudget: 2,
+		}},
+		WarmTx: 30, MeasureTx: 120, Seed: seed,
+		Intervals: 50 * sim.Microsecond,
+		// 2x the closed-loop residence time (8 CPUs x 8 server procs,
+		// Little's law), mirroring RunChaosSweep's auto-derivation.
+		SLOTarget: sim.Time(2*64*cal.TimePerTx) * sim.Nanosecond,
+		Faults: fault.Plan{
+			FailStop: []fault.NodeFailure{{Node: 1, At: 200 * sim.Microsecond}},
+		},
+	}
+	run := func(workers int) (core.Result, []byte) {
+		e := exp
+		e.IntraWorkers = workers
+		// Private failover target per run: never share mutable state.
+		e.FaultAdopt = ras.NewFailover(0).Takeover
+		res := core.Run(e)
+		b, err := json.Marshal(res)
+		if err != nil {
+			fatalf("chaos row: marshal: %v", err)
+		}
+		return res, b
+	}
+	r, b1 := run(1)
+	_, b4 := run(4)
+	if !bytes.Equal(b1, b4) {
+		fatalf("chaos row: JSON diverged between -jintra 1 and 4")
+	}
+	if r.Recovery == nil || len(r.Recovery.Events) != 1 {
+		fatalf("chaos row: no fail-stop recovery event recorded")
+	}
+	ev := r.Recovery.Events[0]
+
+	// Completion rates over whole bins strictly before onset and strictly
+	// after restored; the final (possibly partial) bin is excluded.
+	s := r.Series
+	var preTx, postTx uint64
+	var preBins, postBins int
+	for i, b := range s.Bins {
+		lo := s.Origin + sim.Time(i)*s.Interval
+		switch {
+		case lo+s.Interval <= ev.Onset:
+			preTx += b.Completions
+			preBins++
+		case lo >= ev.Restored && i < len(s.Bins)-1:
+			postTx += b.Completions
+			postBins++
+		}
+	}
+	if preBins == 0 || postBins == 0 || preTx == 0 || postTx == 0 {
+		fatalf("chaos row: degenerate windows (pre %d tx/%d bins, post %d tx/%d bins)",
+			preTx, preBins, postTx, postBins)
+	}
+	binS := float64(s.Interval) / 1e12 // ps → s
+	sum := &ChaosSummary{
+		Name:            "chaos/failstop/2chip",
+		MTTRNs:          float64(ev.Restored-ev.Onset) / float64(sim.Nanosecond),
+		CapacityFrac:    r.Recovery.CapacityFrac,
+		Migrated:        ev.Migrated,
+		HomesAdopted:    ev.HomesAdopted,
+		PreFaultTxS:     float64(preTx) / (float64(preBins) * binS),
+		PostRecoveryTxS: float64(postTx) / (float64(postBins) * binS),
+	}
+	sum.DegradedRatio = sum.PreFaultTxS / sum.PostRecoveryTxS
+	if r.Admission != nil && r.Admission.Arrivals > 0 {
+		sum.ShedRate = float64(r.Admission.Shed) / float64(r.Admission.Arrivals)
+	}
+	if r.SLO != nil {
+		sum.SLOViolationRate = r.SLO.ViolationRate()
+	}
+	if sum.DegradedRatio > 2 {
+		fatalf("chaos row: post-recovery rate %.0f tx/s is less than half the pre-fault %.0f tx/s",
+			sum.PostRecoveryTxS, sum.PreFaultTxS)
 	}
 	return sum
 }
@@ -291,7 +419,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller transaction counts and iteration budgets (CI smoke)")
-	out := flag.String("o", "BENCH_7.json", "output report path")
+	out := flag.String("o", "BENCH_9.json", "output report path")
 	baseline := flag.String("baseline", "", "compare micro allocs/op against this committed report (fail on >10% regression)")
 	seed := flag.Uint64("seed", 0, "workload seed for the end-to-end and sweep rows (0 = default)")
 	flag.Parse()
@@ -387,6 +515,13 @@ func main() {
 		fmt.Printf("%-22s capacity %8.0f tx/s  saturates at %-5s p99@%gx %.0f ns\n",
 			s.Name, s.CapacityTxS, sat, last.Multiplier, last.P99Ns)
 	}
+
+	// The chaos row: fail-stop recovery, degraded-mode throughput, and
+	// the jintra byte-identity of the whole fault pipeline.
+	ch := failStopBench(*seed)
+	rep.Chaos = ch
+	fmt.Printf("%-22s mttr %8.0f ns  pre %8.0f tx/s  post %8.0f tx/s  ratio %.2f  sloviol %.3f\n",
+		ch.Name, ch.MTTRNs, ch.PreFaultTxS, ch.PostRecoveryTxS, ch.DegradedRatio, ch.SLOViolationRate)
 
 	// The refactor's contract: the three hot paths allocate nothing in
 	// steady state. Enforce it on every run, not just under -baseline.

@@ -31,6 +31,17 @@
 // deterministic: the same seed and grid reproduce identical counters and
 // curves.
 //
+// -faults also accepts fail-stop node deaths ("failstop=1@10us", with
+// optional "detect=" and "redispatch=" tunables): the node dies that
+// long after the measured window starts, its processes migrate, the
+// directory is reconstructed at the RAS mirror, and the run reports an
+// MTTR and degraded-mode counters.
+//
+// Combining -load-sweep with -faults runs the composed chaos campaign:
+// the load grid crossed with the fault grid, one degradation surface
+// (p50/p99/p999, shed rate, SLO violations, MTTR per cell) per config x
+// workload pair. See RunChaosSweep.
+//
 // -arrivals switches runs to open-loop: transactions arrive on a seeded
 // stochastic process ("poisson,rate=2e5,cap=256", "mmpp,rate=1.5e5,
 // burst=8", "diurnal,rate=2e5,depth=0.8", optionally "mix=oltp:3/dss:1")
@@ -50,6 +61,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"piranha"
 	"piranha/internal/core"
@@ -76,8 +88,10 @@ func defaultFaultPlan() fault.Plan {
 }
 
 // parseFaultPlan parses the -faults spec: "default", or comma-separated
-// key=value pairs (ber, loss, memflip, double, stall) plus the bare
-// "mirror" token.
+// key=value pairs (ber, loss, memflip, double, stall), the bare "mirror"
+// token, fail-stop deaths as "failstop=NODE@TIME" (repeatable; TIME is a
+// duration after the measured window starts, e.g. "failstop=1@10us"),
+// and the fail-stop tunables "detect=DURATION" / "redispatch=DURATION".
 func parseFaultPlan(spec string) (fault.Plan, error) {
 	if spec == "default" {
 		return defaultFaultPlan(), nil
@@ -96,6 +110,36 @@ func parseFaultPlan(spec string) (fault.Plan, error) {
 		if !ok {
 			return p, fmt.Errorf("bad -faults token %q (want key=value or mirror)", tok)
 		}
+		switch k {
+		case "failstop":
+			ns, at, ok := strings.Cut(v, "@")
+			if !ok {
+				return p, fmt.Errorf("bad -faults failstop %q (want NODE@TIME, e.g. 1@10us)", v)
+			}
+			node, err := strconv.Atoi(ns)
+			if err != nil {
+				return p, fmt.Errorf("bad -faults failstop node %q: %v", ns, err)
+			}
+			d, err := time.ParseDuration(at)
+			if err != nil {
+				return p, fmt.Errorf("bad -faults failstop time %q: %v", at, err)
+			}
+			p.FailStop = append(p.FailStop, fault.NodeFailure{
+				Node: node, At: sim.Time(d.Nanoseconds()) * sim.Nanosecond,
+			})
+			continue
+		case "detect", "redispatch":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return p, fmt.Errorf("bad -faults %s duration %q: %v", k, v, err)
+			}
+			if k == "detect" {
+				p.DetectLatency = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+			} else {
+				p.RedispatchPenalty = sim.Time(d.Nanoseconds()) * sim.Nanosecond
+			}
+			continue
+		}
 		x, err := strconv.ParseFloat(v, 64)
 		if err != nil {
 			return p, fmt.Errorf("bad -faults value %q: %v", tok, err)
@@ -112,7 +156,7 @@ func parseFaultPlan(spec string) (fault.Plan, error) {
 		case "stall":
 			p.StallProb = x
 		default:
-			return p, fmt.Errorf("unknown -faults key %q (ber|loss|memflip|double|stall|mirror)", k)
+			return p, fmt.Errorf("unknown -faults key %q (ber|loss|memflip|double|stall|failstop|detect|redispatch|mirror)", k)
 		}
 	}
 	return p, nil
@@ -183,11 +227,6 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if *loadSweep != "" && *faults != "" {
-		fmt.Fprintln(os.Stderr, "-load-sweep and -faults are separate campaign modes; pick one")
-		os.Exit(2)
-	}
-
 	var (
 		basePlan fault.Plan
 		grid     []float64
@@ -214,6 +253,58 @@ func main() {
 	}
 
 	workloads := strings.Split(*work, ",")
+
+	if *loadSweep != "" && *faults != "" {
+		// Composed chaos campaign: the load sweep crossed with the fault
+		// grid — one degradation surface per config x workload pair, each
+		// cell a full open-loop run under the scaled plan (fail-stop
+		// deaths kept verbatim at any multiplier > 0).
+		mults := piranha.DefaultChaosLoadMultipliers
+		if *loadSweep != "default" {
+			var err error
+			if mults, err = parseGrid(*loadSweep); err != nil {
+				fmt.Fprintln(os.Stderr, strings.Replace(err.Error(), "-fault-grid", "-load-sweep", 1))
+				os.Exit(2)
+			}
+		}
+		piranha.SetParallelism(*parallel)
+		enc := json.NewEncoder(os.Stdout)
+		for _, c := range strings.Split(*config, ",") {
+			sys, ok := sysByName[c]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
+				os.Exit(2)
+			}
+			sys.Chips = *chips
+			for _, w := range workloads {
+				kind, ok := kindByName[w]
+				if !ok {
+					fmt.Fprintf(os.Stderr, "unknown workload %q\n", w)
+					os.Exit(2)
+				}
+				s := piranha.RunChaosSweep(sys, piranha.Workload{Kind: kind}, piranha.ChaosSweep{
+					Multipliers:  mults,
+					FaultMults:   grid,
+					Plan:         basePlan,
+					Arrivals:     arrivalSpec,
+					Scale:        piranha.Scale{Warm: *warm, Measure: *tx},
+					Seed:         *seed,
+					Intervals:    *intervals,
+					IntraWorkers: *jintra,
+				})
+				s.Name = c + "/" + w
+				if *jsonOut {
+					if err := enc.Encode(s); err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					continue
+				}
+				fmt.Println(s)
+			}
+		}
+		return
+	}
 
 	if *loadSweep != "" {
 		// Load-sweep campaign: one hockey-stick curve per config x
@@ -311,6 +402,9 @@ func main() {
 				ge.Faults = basePlan.Scaled(m)
 				if ge.Faults.Mirrored {
 					ge.FaultEscalate = ras.NewFailover(0).Uncorrectable
+				}
+				if len(ge.Faults.FailStop) > 0 {
+					ge.FaultAdopt = ras.NewFailover(0).Takeover
 				}
 				exps = append(exps, ge)
 			}

@@ -66,6 +66,11 @@ type Experiment struct {
 	// FaultEscalate, when non-nil, handles uncorrectable memory errors
 	// (ras mirroring failover). Only consulted when Faults is enabled.
 	FaultEscalate func(now sim.Time) (extra sim.Time, recovered bool)
+	// FaultAdopt, when non-nil, notifies the RAS mirror that it adopted n
+	// directory-resident lines of a fail-stopped home (ras.Failover.
+	// Takeover — same hook pattern as FaultEscalate, since neither core
+	// nor fault can import ras).
+	FaultAdopt func(n int)
 	// IntraWorkers enables two-phase parallel execution *within* this
 	// run on that many phase workers (<= 1 is the serial engine). The
 	// run's output is byte-identical either way: the timing model stays
@@ -74,6 +79,16 @@ type Experiment struct {
 	// workers. Runs on P1-sized machines or with zero lookahead fall
 	// back to serial automatically.
 	IntraWorkers int
+	// SLOTarget, when positive on an open-loop run, attaches a per-window
+	// SLO accountant to the admission queue: completions slower than the
+	// target (and final sheds) are violations, bucketed into windows of
+	// Intervals width (50 µs when Intervals is unset). Result.SLO carries
+	// the accounting. Zero disables it — closed-loop runs and open-loop
+	// runs that never set it are byte-identical to pre-SLO builds.
+	SLOTarget sim.Time
+	// SLOBudget is the tolerated violation fraction (error budget) for
+	// BudgetBurn; zero takes the 10% default.
+	SLOBudget float64
 }
 
 // Result carries the measurements an experiment produces.
@@ -117,6 +132,13 @@ type Result struct {
 	// Admission holds the admission-queue counters for open-loop runs;
 	// nil otherwise.
 	Admission *kernel.AdmissionStats
+	// SLO holds the per-window SLO accounting for open-loop runs with
+	// SLOTarget set; nil otherwise (same pointer idiom as Series).
+	SLO *stats.SLO
+	// Recovery holds the fail-stop recovery timeline (per-event MTTR and
+	// the post-failure capacity fraction) for runs whose fault plan killed
+	// a node; nil otherwise.
+	Recovery *fault.Recovery
 }
 
 // String renders a one-line summary.
@@ -162,6 +184,7 @@ func Run(e Experiment) Result {
 	if e.Faults.Enabled() {
 		inj = fault.New(e.Faults, seed)
 		inj.Escalate = e.FaultEscalate
+		inj.Adopt = e.FaultAdopt
 		sys.AttachFaults(inj)
 	}
 	var series *stats.Series
@@ -190,6 +213,9 @@ func Run(e Experiment) Result {
 				}
 				return n
 			}, nil)
+		// Satellite diagnostic: a wedged fault campaign's panic message
+		// includes the injected/recovered/pending-reclaim counters.
+		wd.SetDiagnostic(inj.Diagnostic)
 	}
 	lay := workload.DefaultLayout()
 	ncpu := sys.TotalCPUs()
@@ -234,8 +260,16 @@ func Run(e Experiment) Result {
 	var adm *kernel.Admission
 	if arrivalsOn {
 		adm = kernel.NewAdmission(len(pools), e.Work.Arrivals.Capacity)
+		adm.Retry = kernel.RetryPolicy{
+			Budget:  e.Work.Arrivals.RetryBudget,
+			Backoff: e.Work.Arrivals.RetryBackoff,
+			Factor:  e.Work.Arrivals.RetryFactor,
+		}
 		sys.Kern.SetAdmission(adm)
 		adm.AttachSeries(series)
+		if e.SLOTarget > 0 {
+			adm.AttachSLO(stats.NewSLO(e.SLOTarget, e.Intervals, e.SLOBudget))
+		}
 		gen := workload.NewArrivalGen(e.Work.Arrivals, rng.Split(0x41525256)) // "ARRV"
 		startArrivals(sys.Engine, sys.Kern, gen)
 		spawn = func(c, id int, s kernel.Stream, procSeed uint64) {
@@ -253,7 +287,9 @@ func Run(e Experiment) Result {
 		par := newIntraRun(sys, w, procsPerCPU, newStream, spawn, rng)
 		defer par.Close()
 		if wd != nil {
-			wd.SetDiagnostic(par.Diagnostic)
+			wd.SetDiagnostic(func() string {
+				return par.Diagnostic() + "; " + inj.Diagnostic()
+			})
 		}
 		runTx = par.RunTx
 	} else {
@@ -284,6 +320,12 @@ func Run(e Experiment) Result {
 	if adm != nil {
 		adm.ResetStats(sys.Engine.Now())
 	}
+	// Fail-stop node deaths are armed at the warm/measure boundary:
+	// NodeFailure.At is relative to the start of the measured window, the
+	// only anchor a plan author can predict.
+	if inj != nil && len(inj.Plan().FailStop) > 0 {
+		scheduleFailStops(sys, inj, ncpu, e.Trace, wd)
+	}
 	elapsed := runTx(e.WarmTx + e.MeasureTx)
 	if inj != nil && sys.Kern.Tx < e.WarmTx+e.MeasureTx {
 		// RunTx returned with the queue drained short of the target: the
@@ -307,6 +349,9 @@ func Run(e Experiment) Result {
 	if inj != nil {
 		fs := inj.Collect()
 		r.Faults = &fs
+		if rec := inj.Recovery(); len(rec.Events) > 0 {
+			r.Recovery = &rec
+		}
 	}
 	if adm != nil {
 		adm.Finalize(sys.Engine.Now())
@@ -314,6 +359,7 @@ func Run(e Experiment) Result {
 		r.Admission = &st
 		lat := *adm.Lat
 		r.Lat = &lat
+		r.SLO = adm.SLO()
 	}
 	var pageHits, pageTotal uint64
 	for _, chip := range sys.Chips {

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"piranha/internal/fault"
+	"piranha/internal/pe"
+	"piranha/internal/sim"
+	"piranha/internal/trace"
+)
+
+// scheduleFailStops arms the plan's fail-stop node deaths on the engine.
+// Called at the warm/measure boundary, so each NodeFailure.At is relative
+// to the start of the measured window — the only anchor a caller can
+// predict, since the warm phase's simulated duration depends on the
+// machine and workload.
+//
+// Each failure unfolds in three timeline instants (traced as
+// fault-onset/fault-detect/fault-recover):
+//
+//	onset    — the node dies; its CPUs stop at their next dispatch
+//	           boundary (at most one scheduler quantum of slop).
+//	detect   — onset + DetectLatency: the kernel migrates the dead
+//	           node's processes (re-dispatch penalty each), recovery
+//	           software reconstructs the directory via the TSRF-mediated
+//	           sweep (pe.FailNode) with the RAS mirror adopting the dead
+//	           home's lines, and the admission queue's capacity shrinks
+//	           to the alive-CPU fraction — degraded mode, not a wedge.
+//	restored — when both the migrated processes are runnable again and
+//	           the reconstruction sweep has finished; MTTR is
+//	           restored − onset.
+func scheduleFailStops(sys *System, inj *fault.Injector, ncpu int, tr *trace.Tracer, wd *sim.Watchdog) {
+	plan := inj.Plan()
+	fails := append([]fault.NodeFailure(nil), plan.FailStop...)
+	if len(fails) == 0 {
+		return
+	}
+	if sys.Fabric == nil {
+		panic("core: fail-stop injection requires a multi-chip system")
+	}
+	if len(fails) >= len(sys.Chips) {
+		panic(fmt.Sprintf("core: fail-stop plan kills %d of %d nodes; at least one must survive",
+			len(fails), len(sys.Chips)))
+	}
+	seen := make(map[int]bool, len(fails))
+	for _, f := range fails {
+		if f.Node < 0 || f.Node >= len(sys.Chips) {
+			panic(fmt.Sprintf("core: fail-stop node %d out of range [0,%d)", f.Node, len(sys.Chips)))
+		}
+		if seen[f.Node] {
+			panic(fmt.Sprintf("core: node %d fail-stops twice in one plan", f.Node))
+		}
+		seen[f.Node] = true
+		if f.At < 0 {
+			panic(fmt.Sprintf("core: fail-stop time %d ps before the measured window", f.At))
+		}
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i].At < fails[j].At })
+
+	perChip := len(sys.Chips[0].Cores)
+	inj.SetCapacityFrac(1)
+	for _, f := range fails {
+		f := f
+		sys.Engine.After(f.At, func() {
+			onset := sys.Engine.Now()
+			tr.Instant(trace.Kernel, trace.KFaultOnset, uint8(f.Node), -1, 0, onset, 0)
+			sys.Engine.After(plan.DetectLatency, func() {
+				detect := sys.Engine.Now()
+				tr.Instant(trace.Kernel, trace.KFaultDetect, uint8(f.Node), -1, 0, detect, 0)
+				cpus := make([]int, 0, perChip)
+				for c := f.Node * perChip; c < (f.Node+1)*perChip; c++ {
+					cpus = append(cpus, c)
+				}
+				migrated := sys.Kern.FailCPUs(cpus, plan.RedispatchPenalty)
+				sweepDone, st := sys.Fabric.FailNode(detect, pe.NodeID(f.Node))
+				frac := float64(sys.Kern.AliveCPUs()) / float64(ncpu)
+				sys.Kern.Admission().Degrade(frac)
+				inj.SetCapacityFrac(frac)
+				restored := detect
+				if migrated > 0 {
+					restored += plan.RedispatchPenalty
+				}
+				if sweepDone > restored {
+					restored = sweepDone
+				}
+				// The reconstruction sweep pre-books the surviving home
+				// engines until sweepDone: memory accesses stall behind it,
+				// and the machine may legitimately retire nothing for the
+				// whole window. Tell the watchdog so a long sweep reads as
+				// recovery in progress, not a wedge.
+				wd.Defer(restored)
+				inj.NoteFailStop(fault.RecoveryEvent{
+					Node:           f.Node,
+					Onset:          onset,
+					Detect:         detect,
+					Restored:       restored,
+					Migrated:       migrated,
+					SharersDropped: st.SharersDropped,
+					OwnerReclaims:  st.OwnerReclaims,
+					HomesAdopted:   st.HomesAdopted,
+				})
+				tr.Instant(trace.Kernel, trace.KFaultRecover, uint8(f.Node), -1, 0,
+					restored, uint32((restored-onset)/sim.Nanosecond))
+			})
+		})
+	}
+}

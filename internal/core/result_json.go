@@ -16,7 +16,14 @@ import (
 // closed-loop runs, so every v1 document is also a structurally valid
 // v2 document — readers should accept either version and treat the
 // absent blocks as "closed-loop run".
-const ResultSchemaVersion = 2
+//
+// v3 (serving under failure): adds the "slo" block (per-window SLO
+// accounting for open-loop runs with a latency target) and the
+// "recovery" block (fail-stop MTTR timeline and degraded capacity
+// fraction), and extends "admission" with "retried"/"retry_exhausted"
+// counters. All additions are omitted when the features are off, so
+// every v2 document is also a structurally valid v3 document.
+const ResultSchemaVersion = 3
 
 // resultJSON is the versioned wire form of Result. All simulated times
 // are picoseconds (the engine unit) except time_per_tx_ns, which is the
@@ -45,6 +52,45 @@ type resultJSON struct {
 	Faults    *faultJSON     `json:"faults,omitempty"`
 	Lat       *latencyJSON   `json:"latency_percentiles,omitempty"`
 	Admission *admissionJSON `json:"admission,omitempty"`
+	SLO       *sloJSON       `json:"slo,omitempty"`
+	Recovery  *recoveryJSON  `json:"recovery,omitempty"`
+}
+
+// sloJSON is the v3 SLO block for open-loop runs with a latency target:
+// run totals plus the derived serving metrics, and the per-window counts
+// that localize when a fault burned the error budget.
+type sloJSON struct {
+	TargetPs      int64             `json:"target_ps"`
+	WindowPs      int64             `json:"window_ps"`
+	Budget        float64           `json:"budget"`
+	Completed     uint64            `json:"completed"`
+	Violations    uint64            `json:"violations"`
+	Shed          uint64            `json:"shed"`
+	ViolationRate float64           `json:"violation_rate"`
+	BudgetBurn    float64           `json:"budget_burn"`
+	GoodputTxS    float64           `json:"goodput_tx_s"`
+	Windows       []stats.SLOWindow `json:"windows,omitempty"`
+}
+
+// recoveryJSON is the v3 fail-stop recovery block: one event per dead
+// node with the onset→detect→restored timeline, plus run totals.
+type recoveryJSON struct {
+	Events       []recoveryEventJSON `json:"events"`
+	MTTRTotalPs  int64               `json:"mttr_total_ps"`
+	CapacityFrac float64             `json:"capacity_frac"`
+}
+
+// recoveryEventJSON is one node's fail-stop recovery record.
+type recoveryEventJSON struct {
+	Node           int   `json:"node"`
+	OnsetPs        int64 `json:"onset_ps"`
+	DetectPs       int64 `json:"detect_ps"`
+	RestoredPs     int64 `json:"restored_ps"`
+	MTTRPs         int64 `json:"mttr_ps"`
+	Migrated       int   `json:"migrated"`
+	SharersDropped int   `json:"sharers_dropped"`
+	OwnerReclaims  int   `json:"owner_reclaims"`
+	HomesAdopted   int   `json:"homes_adopted"`
 }
 
 // latencyJSON is the v2 tail-latency block for open-loop runs: the
@@ -71,6 +117,10 @@ type admissionJSON struct {
 	Completed uint64  `json:"completed"`
 	MaxDepth  int     `json:"max_depth"`
 	MeanDepth float64 `json:"mean_depth"`
+	// v3 retry-policy counters; omitted when the policy is disabled so
+	// v2 documents round-trip unchanged.
+	Retried        uint64 `json:"retried,omitempty"`
+	RetryExhausted uint64 `json:"retry_exhausted,omitempty"`
 }
 
 // faultJSON carries the fault-injection counter block for runs with an
@@ -135,7 +185,7 @@ type svcJSON struct {
 }
 
 // MarshalJSON renders the Result in its versioned wire form
-// (schema_version 2; see DESIGN.md §7 for the field reference).
+// (schema_version 3; see DESIGN.md §7 for the field reference).
 func (r Result) MarshalJSON() ([]byte, error) {
 	busy, hit, miss, other := r.Agg.Normalized(r.Agg.Total())
 	var lj *latencyJSON
@@ -162,6 +212,44 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		}
 		if r.Elapsed > 0 {
 			aj.MeanDepth = float64(r.Admission.DepthIntegral) / float64(r.Elapsed)
+		}
+		aj.Retried = r.Admission.Retried
+		aj.RetryExhausted = r.Admission.RetryExhausted
+	}
+	var sj *sloJSON
+	if r.SLO != nil {
+		sj = &sloJSON{
+			TargetPs:      int64(r.SLO.Target),
+			WindowPs:      int64(r.SLO.Window),
+			Budget:        r.SLO.Budget,
+			Completed:     r.SLO.Completed,
+			Violations:    r.SLO.Violations,
+			Shed:          r.SLO.Shed,
+			ViolationRate: r.SLO.ViolationRate(),
+			BudgetBurn:    r.SLO.BudgetBurn(),
+			GoodputTxS:    r.SLO.Goodput(r.Elapsed),
+			Windows:       r.SLO.Windows,
+		}
+	}
+	var rj *recoveryJSON
+	if r.Recovery != nil {
+		rj = &recoveryJSON{
+			Events:       make([]recoveryEventJSON, 0, len(r.Recovery.Events)),
+			MTTRTotalPs:  int64(r.Recovery.MTTRTotal),
+			CapacityFrac: r.Recovery.CapacityFrac,
+		}
+		for _, ev := range r.Recovery.Events {
+			rj.Events = append(rj.Events, recoveryEventJSON{
+				Node:           ev.Node,
+				OnsetPs:        int64(ev.Onset),
+				DetectPs:       int64(ev.Detect),
+				RestoredPs:     int64(ev.Restored),
+				MTTRPs:         int64(ev.MTTR()),
+				Migrated:       ev.Migrated,
+				SharersDropped: ev.SharersDropped,
+				OwnerReclaims:  ev.OwnerReclaims,
+				HomesAdopted:   ev.HomesAdopted,
+			})
 		}
 	}
 	var fj *faultJSON
@@ -231,5 +319,7 @@ func (r Result) MarshalJSON() ([]byte, error) {
 		Faults:    fj,
 		Lat:       lj,
 		Admission: aj,
+		SLO:       sj,
+		Recovery:  rj,
 	})
 }

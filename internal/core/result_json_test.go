@@ -64,6 +64,99 @@ func TestGoldenV1DocumentDecodes(t *testing.T) {
 	}
 }
 
+// goldenV2 is a verbatim schema_version-2 Result document with the
+// open-loop blocks v2 introduced. v3 only *adds* omitempty blocks (slo,
+// recovery, admission retry counters), so v2 documents must keep
+// decoding with every field intact and the v3-only blocks absent.
+const goldenV2 = `{
+  "schema_version": 2,
+  "name": "P8/oltp-open",
+  "chips": 1,
+  "cpus": 8,
+  "tx": 200,
+  "elapsed_ps": 712345678,
+  "time_per_tx_ns": 3561.7,
+  "breakdown": {
+    "busy_ps": 300000000, "l2hit_stall_ps": 150000000,
+    "l2miss_stall_ps": 200000000, "other_ps": 62345678,
+    "busy_frac": 0.42, "l2hit_frac": 0.21, "l2miss_frac": 0.28, "other_frac": 0.09
+  },
+  "l1_miss_breakdown": {"l2_hit": 1000, "l2_fwd": 400, "l2_miss": 600},
+  "page_hit_rate": 0.51,
+  "instructions": 3200000,
+  "idle_ps": 1234567,
+  "ctx_switches": 321,
+  "l2": {
+    "hits": 1000, "fwds": 400, "local_mem": 500, "remote": 80,
+    "remote_dirty": 20, "upgrades": 60, "writebacks_to_l2": 30,
+    "writebacks_to_mem": 40, "invals": 70
+  },
+  "svc": {"l1": 90000, "l2_hit": 1000, "l2_fwd": 400, "local_mem": 500,
+          "remote": 80, "remote_dirty": 20},
+  "latency_percentiles": {
+    "count": 180, "mean_ps": 2500000, "min_ps": 1100000, "max_ps": 9900000,
+    "p50_ps": 2300000, "p90_ps": 4100000, "p99_ps": 7700000, "p999_ps": 9900000
+  },
+  "admission": {
+    "arrivals": 200, "admitted": 185, "shed": 15, "completed": 180,
+    "max_depth": 12, "mean_depth": 3.4
+  }
+}`
+
+func TestGoldenV2DocumentDecodes(t *testing.T) {
+	var doc resultJSON
+	if err := json.Unmarshal([]byte(goldenV2), &doc); err != nil {
+		t.Fatalf("v2 document no longer decodes: %v", err)
+	}
+	if doc.SchemaVersion != 2 {
+		t.Fatalf("schema_version = %d", doc.SchemaVersion)
+	}
+	if doc.Lat == nil || doc.Lat.P99Ps != 7700000 {
+		t.Fatalf("v2 latency block lost: %+v", doc.Lat)
+	}
+	if doc.Admission == nil || doc.Admission.Shed != 15 || doc.Admission.MeanDepth != 3.4 {
+		t.Fatalf("v2 admission block lost: %+v", doc.Admission)
+	}
+	// v2 never wrote retry counters; they must read back zero.
+	if doc.Admission.Retried != 0 || doc.Admission.RetryExhausted != 0 {
+		t.Fatalf("v2 admission block grew retry counters: %+v", doc.Admission)
+	}
+	// The v3-only blocks must read back as "absent", not zero-filled.
+	if doc.SLO != nil || doc.Recovery != nil {
+		t.Fatal("v2 document grew v3 blocks on decode")
+	}
+}
+
+// TestV3FailStopRoundTrip checks the slo/recovery blocks survive a
+// marshal/unmarshal cycle with their derived metrics populated.
+func TestV3FailStopRoundTrip(t *testing.T) {
+	r := Run(failStopExp())
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc resultJSON
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != 3 {
+		t.Fatalf("schema_version = %d, want 3", doc.SchemaVersion)
+	}
+	if doc.SLO == nil || doc.SLO.Completed == 0 || doc.SLO.TargetPs == 0 {
+		t.Fatalf("slo block missing or empty: %+v", doc.SLO)
+	}
+	if doc.Recovery == nil || len(doc.Recovery.Events) != 1 {
+		t.Fatalf("recovery block missing: %+v", doc.Recovery)
+	}
+	ev := doc.Recovery.Events[0]
+	if ev.MTTRPs != ev.RestoredPs-ev.OnsetPs {
+		t.Fatalf("mttr_ps inconsistent: %+v", ev)
+	}
+	if doc.Recovery.CapacityFrac != 0.5 {
+		t.Fatalf("capacity_frac = %v", doc.Recovery.CapacityFrac)
+	}
+}
+
 func TestV2RoundTrip(t *testing.T) {
 	r := Run(openExp(2.5e5))
 	b, err := json.Marshal(r)

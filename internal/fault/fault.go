@@ -40,6 +40,17 @@ const maxFrameRetries = 8
 // decode path; it covers the largest protocol packet (header + line).
 const scratchBytes = 128
 
+// NodeFailure schedules one deterministic fail-stop node death: chip
+// Node stops executing and serving memory at absolute simulated time At
+// (t=0 is run start, so warm-phase onsets are expressible). Fail-stop
+// deaths are scheduled, not drawn from an RNG stream, so a chaos grid's
+// fault-rate axis scales the transient classes while the death schedule
+// stays fixed.
+type NodeFailure struct {
+	Node int
+	At   sim.Time
+}
+
 // Plan describes one deterministic fault-injection campaign: per-class
 // rates plus the recovery parameters. The zero value is the perfect
 // machine — Enabled() is false and an injector built from it injects
@@ -83,21 +94,38 @@ type Plan struct {
 	// Timeout is the TSRF staleness threshold the sweep applies; an
 	// entry is reclaimed at the first sweep where its age exceeds it.
 	Timeout sim.Time
+
+	// FailStop schedules deterministic fail-stop node deaths. Requires a
+	// multi-chip system: the dead chip's home memory fails over to its
+	// RAS mirror and the survivors keep serving in degraded mode.
+	FailStop []NodeFailure
+	// DetectLatency is the onset→detection delay: the time between a
+	// node dying and the survivors beginning recovery.
+	DetectLatency sim.Time
+	// RedispatchPenalty is charged per process migrated off a dead node
+	// before it becomes runnable on its new CPU.
+	RedispatchPenalty sim.Time
 }
 
 // Enabled reports whether any fault class has a nonzero rate.
 func (p Plan) Enabled() bool {
-	return p.LinkBER > 0 || p.MsgLoss > 0 || p.MemFlip > 0 || p.StallProb > 0
+	return p.LinkBER > 0 || p.MsgLoss > 0 || p.MemFlip > 0 ||
+		p.StallProb > 0 || len(p.FailStop) > 0
 }
 
 // Scaled returns a copy with every rate multiplied by m — the campaign
 // grid axis. Durations, seed and mirroring are unchanged; probabilities
-// saturate at 1.
+// saturate at 1. The fail-stop schedule is not a rate: any positive
+// multiplier keeps it verbatim, while m = 0 (the grid's baseline cell)
+// drops it so the zero cell stays a genuinely fault-free run.
 func (p Plan) Scaled(m float64) Plan {
 	p.LinkBER = capProb(p.LinkBER * m)
 	p.MsgLoss = capProb(p.MsgLoss * m)
 	p.MemFlip = capProb(p.MemFlip * m)
 	p.StallProb = capProb(p.StallProb * m)
+	if m <= 0 {
+		p.FailStop = nil
+	}
 	return p
 }
 
@@ -128,6 +156,12 @@ func (p Plan) withDefaults() Plan {
 	}
 	if p.Timeout <= 0 {
 		p.Timeout = 20 * sim.Microsecond
+	}
+	if p.DetectLatency <= 0 {
+		p.DetectLatency = 10 * sim.Microsecond
+	}
+	if p.RedispatchPenalty <= 0 {
+		p.RedispatchPenalty = 5 * sim.Microsecond
 	}
 	p.MemDoubleFrac = capProb(p.MemDoubleFrac)
 	return p
@@ -165,17 +199,69 @@ type Stats struct {
 	// RecoveryLatency is the total simulated time transactions spent
 	// waiting on TSRF timeout recovery.
 	RecoveryLatency sim.Time
+	// NodesFailed counts fail-stop node deaths.
+	NodesFailed uint64
+	// ProcsMigrated counts processes the kernel moved off dead nodes.
+	ProcsMigrated uint64
+	// DirSharersDropped counts directory entries the reconstruction
+	// sweep purged a dead sharer from.
+	DirSharersDropped uint64
+	// DirOwnerReclaims counts exclusive entries whose dead owner the
+	// sweep reclaimed (data restored from the RAS mirror).
+	DirOwnerReclaims uint64
+	// HomesAdopted counts dead-homed directory entries the mirror node
+	// adopted.
+	HomesAdopted uint64
+	// MirrorReads counts dead-home memory reads served by the mirror.
+	MirrorReads uint64
+	// MTTRTotal is the summed onset→restored-capacity time over all
+	// fail-stop events.
+	MTTRTotal sim.Time
 }
 
 // String renders the counter block on one line.
 func (s Stats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"faults: injected=%d link[words=%d retrans=%d] lost=%d recovered=%d sweeps=%d recovery=%.1fus mem[flips=%d corrected=%d failover=%d fatal=%d] stalls=%d",
 		s.Injected, s.LinkWordErrors, s.Retransmits, s.MessagesLost,
 		s.Recovered, s.SweepReclaims,
 		float64(s.RecoveryLatency)/float64(sim.Microsecond),
 		s.MemFlips, s.MemCorrected, s.MemFailovers, s.MemUnrecoverable,
 		s.Stalls)
+	if s.NodesFailed > 0 {
+		out += fmt.Sprintf(" failstop[nodes=%d migrated=%d dropped=%d reclaimed=%d adopted=%d mirror-reads=%d mttr=%.1fus]",
+			s.NodesFailed, s.ProcsMigrated, s.DirSharersDropped,
+			s.DirOwnerReclaims, s.HomesAdopted, s.MirrorReads,
+			float64(s.MTTRTotal)/float64(sim.Microsecond))
+	}
+	return out
+}
+
+// RecoveryEvent is the timeline of one fail-stop node death: when it
+// happened, when the survivors noticed, when full (degraded-mode)
+// serving capacity was restored, and what the reconstruction touched.
+type RecoveryEvent struct {
+	Node     int
+	Onset    sim.Time
+	Detect   sim.Time
+	Restored sim.Time
+
+	Migrated       int // processes moved off the dead node
+	SharersDropped int // directory entries purged of the dead sharer
+	OwnerReclaims  int // exclusive entries reclaimed from the dead owner
+	HomesAdopted   int // dead-homed entries the mirror adopted
+}
+
+// MTTR is the onset→restored-capacity time for this event.
+func (e RecoveryEvent) MTTR() sim.Time { return e.Restored - e.Onset }
+
+// Recovery is the fail-stop recovery log a run reports (Result.Recovery,
+// schema v3). CapacityFrac is the fraction of CPU capacity still alive
+// after the last recorded failure (1 when nothing died).
+type Recovery struct {
+	Events       []RecoveryEvent
+	MTTRTotal    sim.Time
+	CapacityFrac float64
 }
 
 // Injector is one run's live fault engine. It is not safe for concurrent
@@ -195,12 +281,18 @@ type Injector struct {
 	icClock sim.Clock
 	scratch []byte
 	series  *stats.Series
+	recov   Recovery
 
 	// Escalate, when non-nil, handles uncorrectable memory errors —
 	// ras mirroring failover returns the mirror-read latency and
 	// recovered=true. When nil, the plan's Mirrored/MirrorLatency
 	// fields decide.
 	Escalate func(now sim.Time) (extra sim.Time, recovered bool)
+	// Adopt, when non-nil, tells the RAS mirror it has taken over n
+	// directory-resident lines of a fail-stopped home (ras.Failover.
+	// Takeover, wired by the layer that owns the failover target — the
+	// same hook pattern as Escalate, since fault cannot import ras).
+	Adopt func(n int)
 
 	// Stats accumulates the non-link counters live; Collect folds the
 	// link channels' counters in.
@@ -361,6 +453,72 @@ func (j *Injector) NoteSweep(n int) {
 	j.Stats.SweepReclaims += uint64(n)
 }
 
+// FailoverPenalty charges one dead-home memory read served from the RAS
+// mirror: the deterministic mirror-read latency (plan MirrorLatency,
+// defaulted), counted in MirrorReads.
+func (j *Injector) FailoverPenalty(now sim.Time) sim.Time {
+	if j == nil {
+		return 0
+	}
+	_ = now
+	j.Stats.MirrorReads++
+	return j.plan.MirrorLatency
+}
+
+// NoteFailStop records one completed fail-stop recovery: the event joins
+// the run's recovery log, the scalar counters absorb its totals, and the
+// restored instant lands in the interval sampler's recovery track.
+func (j *Injector) NoteFailStop(ev RecoveryEvent) {
+	if j == nil {
+		return
+	}
+	j.recov.Events = append(j.recov.Events, ev)
+	j.recov.MTTRTotal += ev.MTTR()
+	j.Stats.NodesFailed++
+	j.Stats.ProcsMigrated += uint64(ev.Migrated)
+	j.Stats.DirSharersDropped += uint64(ev.SharersDropped)
+	j.Stats.DirOwnerReclaims += uint64(ev.OwnerReclaims)
+	j.Stats.HomesAdopted += uint64(ev.HomesAdopted)
+	j.Stats.MTTRTotal += ev.MTTR()
+	if j.Adopt != nil {
+		j.Adopt(ev.HomesAdopted)
+	}
+	j.series.AddRecovery(ev.Restored, ev.MTTR())
+}
+
+// SetCapacityFrac records the alive-CPU fraction after fail-stop deaths
+// (the degraded-mode serving capacity the recovery block reports).
+func (j *Injector) SetCapacityFrac(frac float64) {
+	if j == nil {
+		return
+	}
+	j.recov.CapacityFrac = frac
+}
+
+// Recovery returns the fail-stop recovery log accumulated so far.
+func (j *Injector) Recovery() Recovery {
+	if j == nil {
+		return Recovery{}
+	}
+	return j.recov
+}
+
+// Diagnostic renders the live fault/recovery state for the watchdog's
+// failure message: the counter block plus how many lost transactions are
+// still awaiting their TSRF reclaim — the number that explains a stuck
+// faulted run.
+func (j *Injector) Diagnostic() string {
+	if j == nil {
+		return "faults: disabled"
+	}
+	s := j.Collect()
+	pending := int64(s.MessagesLost) - int64(s.Recovered)
+	if pending < 0 {
+		pending = 0
+	}
+	return fmt.Sprintf("%s pending-reclaims=%d", s.String(), pending)
+}
+
 // MemRead rolls a memory fault against one line read at address a and
 // returns the extra latency the read pays. A fault builds a line image,
 // encodes it with the real SECDED code, flips one bit (anywhere in the
@@ -432,6 +590,11 @@ func (j *Injector) ResetStats() {
 		return
 	}
 	j.Stats = Stats{}
+	// Warm-phase fail-stop events leave the measured window's log, but
+	// the degraded capacity fraction persists — the machine is still
+	// short those nodes.
+	j.recov.Events = nil
+	j.recov.MTTRTotal = 0
 	for _, ch := range j.chans {
 		ch.Reset()
 	}
@@ -450,6 +613,6 @@ func (j *Injector) Collect() Stats {
 		s.LinkWordErrors += cs.WordErrors + cs.CRCErrors
 		s.Retransmits += cs.Retransmits
 	}
-	s.Injected = s.LinkWordErrors + s.MessagesLost + s.MemFlips + s.Stalls
+	s.Injected = s.LinkWordErrors + s.MessagesLost + s.MemFlips + s.Stalls + s.NodesFailed
 	return s
 }

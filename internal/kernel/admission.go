@@ -14,14 +14,51 @@ import (
 
 // AdmissionStats aggregates one run's admission-queue activity.
 type AdmissionStats struct {
-	Arrivals  uint64 // transactions offered
+	Arrivals  uint64 // transactions offered (first offers; re-offers excluded)
 	Admitted  uint64 // accepted (ran or will run)
-	Shed      uint64 // dropped by the capacity bound, never executed
+	Shed      uint64 // dropped for good, never executed
 	Completed uint64 // finished (latency recorded)
 	MaxDepth  int    // peak queued (not yet running) transactions
 	// DepthIntegral is ∑ depth·dt over the run; divided by elapsed time
 	// it yields the time-weighted mean queue depth.
 	DepthIntegral sim.Time
+	// Retried counts re-offers scheduled by the retry policy (one
+	// arrival can contribute several).
+	Retried uint64
+	// RetryExhausted counts transactions shed only after burning their
+	// whole retry budget (a subset of Shed).
+	RetryExhausted uint64
+}
+
+// RetryPolicy is the admission queue's shed/retry policy: an arrival
+// that finds the queue full is re-offered after a deterministic
+// exponential backoff — Backoff·Factor^attempt, no jitter, so reruns
+// replay the identical schedule — until Budget re-offers have failed,
+// at which point it is shed for good. The zero value disables retry
+// (immediate shed, the pre-existing behavior).
+type RetryPolicy struct {
+	// Budget is the maximum re-offers per arrival; 0 disables retry.
+	Budget int
+	// Backoff is the delay before the first re-offer.
+	Backoff sim.Time
+	// Factor multiplies the backoff per attempt (≤ 1 means 2).
+	Factor int
+}
+
+// delay returns the backoff before re-offer number attempt (0-based).
+func (rp RetryPolicy) delay(attempt int) sim.Time {
+	b := rp.Backoff
+	if b <= 0 {
+		b = 1 * sim.Microsecond
+	}
+	f := rp.Factor
+	if f <= 1 {
+		f = 2
+	}
+	for i := 0; i < attempt; i++ {
+		b *= sim.Time(f)
+	}
+	return b
 }
 
 // Admission is the kernel's admission queue: per-tenant ticket FIFOs
@@ -38,12 +75,16 @@ type Admission struct {
 	Lat *stats.Quantile
 	// Stats aggregates counters; reset at the warm/measure boundary.
 	Stats AdmissionStats
+	// Retry is the shed/retry policy; the zero value sheds immediately.
+	Retry RetryPolicy
 
 	series   *stats.Series
+	slo      *stats.SLO
 	queues   []ticketQueue
 	waiters  [][]*Process
 	depth    int
 	lastTick sim.Time
+	baseCap  int
 }
 
 // ticketQueue is a FIFO of arrival timestamps with an amortized-O(1)
@@ -78,12 +119,37 @@ func NewAdmission(tenants, capacity int) *Admission {
 		Lat:      stats.NewQuantile("arrival→completion latency (ps)"),
 		queues:   make([]ticketQueue, tenants),
 		waiters:  make([][]*Process, tenants),
+		baseCap:  capacity,
 	}
 }
 
 // AttachSeries routes per-interval arrival/admitted/shed counts into an
 // interval sampler (nil detaches).
 func (a *Admission) AttachSeries(s *stats.Series) { a.series = s }
+
+// AttachSLO routes completions and final sheds into a per-window SLO
+// accountant (nil detaches).
+func (a *Admission) AttachSLO(s *stats.SLO) { a.slo = s }
+
+// SLO returns the attached SLO accountant (nil when none).
+func (a *Admission) SLO() *stats.SLO { return a.slo }
+
+// Degrade shrinks a bounded queue's capacity to frac of its configured
+// value — the alive-CPU fraction after a fail-stop — never below 1, so
+// the system keeps serving in degraded mode instead of queueing work it
+// has lost the compute to run. Unbounded queues (capacity 0) stay
+// unbounded. Fractions are applied to the original capacity, so
+// successive failures compose without compounding rounding.
+func (a *Admission) Degrade(frac float64) {
+	if a == nil || a.baseCap == 0 {
+		return
+	}
+	c := int(float64(a.baseCap) * frac)
+	if c < 1 {
+		c = 1
+	}
+	a.Capacity = c
+}
 
 // Depth returns the current queued-transaction count.
 func (a *Admission) Depth() int { return a.depth }
@@ -119,6 +185,18 @@ func (a *Admission) wait(p *Process) {
 func (a *Admission) complete(p *Process, now sim.Time) {
 	a.Stats.Completed++
 	a.Lat.Observe(int64(now - p.txArrive))
+	a.slo.Observe(now, now-p.txArrive)
+	a.series.AddCompletion(now)
+}
+
+// shed drops one transaction for good.
+func (a *Admission) shed(now sim.Time, exhausted bool) {
+	a.Stats.Shed++
+	if exhausted {
+		a.Stats.RetryExhausted++
+	}
+	a.series.AddArrival(now, true)
+	a.slo.ObserveShed(now)
 }
 
 // ResetStats clears counters and the latency sketch at the warm/measure
@@ -127,6 +205,7 @@ func (a *Admission) complete(p *Process, now sim.Time) {
 func (a *Admission) ResetStats(now sim.Time) {
 	a.Stats = AdmissionStats{MaxDepth: a.depth}
 	a.Lat.Reset()
+	a.slo.Reset(now)
 	a.lastTick = now
 }
 
@@ -158,13 +237,28 @@ func (k *Kernel) SpawnOpen(cpuID int, s Stream, seed uint64, tenant int) *Proces
 
 // Arrive offers one transaction to a tenant at the current engine time.
 // If a waiter is free the transaction starts immediately (its queueing
-// delay is zero); otherwise it queues, or is shed at the capacity bound.
-// The arrival driver schedules one engine event per arrival, so Arrive
-// always runs at the arrival's exact timestamp.
+// delay is zero); otherwise it queues, or — at the capacity bound — is
+// shed or re-offered later per the retry policy. The arrival driver
+// schedules one engine event per arrival, so Arrive always runs at the
+// arrival's exact timestamp.
 func (k *Kernel) Arrive(tenant int) {
 	a := k.adm
 	now := k.eng.Now()
 	a.Stats.Arrivals++
+	if a.offer(k, tenant, now, now) {
+		return
+	}
+	if a.Retry.Budget > 0 {
+		a.scheduleRetry(k, tenant, now, 0)
+		return
+	}
+	a.shed(now, false)
+}
+
+// offer tries to place one transaction (original arrival time origAt)
+// with a tenant: hand it to a parked waiter, or queue it under the
+// capacity bound. Returns false when the queue is full.
+func (a *Admission) offer(k *Kernel, tenant int, origAt, now sim.Time) bool {
 	if ws := a.waiters[tenant]; len(ws) > 0 {
 		p := ws[0]
 		a.waiters[tenant] = ws[1:]
@@ -172,21 +266,39 @@ func (k *Kernel) Arrive(tenant int) {
 		a.series.AddArrival(now, false)
 		p.waitAdm = false
 		p.ready = true
-		p.txArrive = now
+		p.txArrive = origAt
 		k.kick(p.CPU)
-		return
+		return true
 	}
 	if a.Capacity > 0 && a.depth >= a.Capacity {
-		a.Stats.Shed++
-		a.series.AddArrival(now, true)
-		return
+		return false
 	}
 	a.Stats.Admitted++
 	a.series.AddArrival(now, false)
 	a.tick(now)
-	a.queues[tenant].push(now)
+	a.queues[tenant].push(origAt)
 	a.depth++
 	if a.depth > a.Stats.MaxDepth {
 		a.Stats.MaxDepth = a.depth
 	}
+	return true
+}
+
+// scheduleRetry arms re-offer number attempt (0-based) for a rejected
+// transaction. A retried transaction keeps its original arrival
+// timestamp, so its eventual latency honestly includes the backoff —
+// retry hides sheds, not queueing delay.
+func (a *Admission) scheduleRetry(k *Kernel, tenant int, origAt sim.Time, attempt int) {
+	a.Stats.Retried++
+	k.eng.After(a.Retry.delay(attempt), func() {
+		now := k.eng.Now()
+		if a.offer(k, tenant, origAt, now) {
+			return
+		}
+		if attempt+1 < a.Retry.Budget {
+			a.scheduleRetry(k, tenant, origAt, attempt+1)
+			return
+		}
+		a.shed(now, true)
+	})
 }

@@ -167,6 +167,107 @@ func TestAdmissionResetStatsKeepsQueue(t *testing.T) {
 	}
 }
 
+func TestAdmissionRetrySucceedsAfterBackoff(t *testing.T) {
+	// Capacity 1, one server: the third arrival finds the queue full,
+	// backs off, and is admitted on re-offer once the queue drains. Its
+	// latency keeps the original arrival timestamp, so the backoff is
+	// visible in the tail instead of hidden.
+	eng, k := openRig(1, 1, 1)
+	a := k.Admission()
+	a.Retry = RetryPolicy{Budget: 3, Backoff: 20 * sim.Microsecond}
+	offer(eng, k, 1, 2, 3)
+	k.RunTx(3)
+	if a.Stats.Shed != 0 || a.Stats.Completed != 3 {
+		t.Fatalf("retry did not rescue the rejected arrival: %+v", a.Stats)
+	}
+	if a.Stats.Retried == 0 {
+		t.Fatalf("no re-offers recorded: %+v", a.Stats)
+	}
+	if a.Stats.Arrivals != 3 {
+		t.Fatalf("re-offers must not count as arrivals: %+v", a.Stats)
+	}
+	// The retried transaction waited out the 20 µs backoff, so the max
+	// latency must exceed it.
+	if a.Lat.Max() < 20*int64(sim.Microsecond) {
+		t.Fatalf("backoff missing from retried latency: max %d ps", a.Lat.Max())
+	}
+}
+
+func TestAdmissionRetryExhaustionOrdering(t *testing.T) {
+	// Six arrivals hit a capacity-1 queue within 6 ps; service takes
+	// ~10 µs, so with backoff 1 µs × factor 2 every rejected arrival
+	// burns its whole budget while the queue is still full. The exact
+	// counter values pin the deterministic exhaustion ordering.
+	run := func() AdmissionStats {
+		eng, k := openRig(1, 1, 1)
+		a := k.Admission()
+		a.Retry = RetryPolicy{Budget: 2, Backoff: 1 * sim.Microsecond, Factor: 2}
+		offer(eng, k, 1, 2, 3, 4, 5, 6)
+		k.RunTx(2)
+		return a.Stats
+	}
+	s := run()
+	if s.Arrivals != 6 || s.Admitted != 2 || s.Shed != 4 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.RetryExhausted != 4 {
+		t.Fatalf("every shed should be budget exhaustion: %+v", s)
+	}
+	if s.Retried != 8 {
+		t.Fatalf("4 rejected arrivals x 2 re-offers = 8, got %+v", s)
+	}
+	if s.Admitted+s.Shed != s.Arrivals {
+		t.Fatalf("arrival conservation violated: %+v", s)
+	}
+	if s2 := run(); s != s2 {
+		t.Fatalf("retry exhaustion not deterministic:\n%+v\n%+v", s, s2)
+	}
+}
+
+func TestAdmissionResetStatsWindowCarryUnderShed(t *testing.T) {
+	// A shed burst before the warm/measure boundary must not leak into
+	// the measured window: ResetStats re-anchors the SLO accountant's
+	// window 0 at the boundary and zeroes its counts, while the queued
+	// transactions (and the degraded MaxDepth baseline) carry over.
+	eng, k := openRig(1, 1, 2)
+	a := k.Admission()
+	slo := stats.NewSLO(1*sim.Microsecond, 10*sim.Microsecond, 0.1)
+	a.AttachSLO(slo)
+	offer(eng, k, 1, 2, 3, 4, 5, 6)
+	k.RunTx(1)
+	if a.Stats.Shed == 0 || slo.Shed == 0 {
+		t.Fatalf("warm burst did not shed: %+v slo=%+v", a.Stats, slo)
+	}
+	boundary := eng.Now()
+	a.ResetStats(boundary)
+	if slo.Completed != 0 || slo.Shed != 0 || len(slo.Windows) != 0 {
+		t.Fatalf("reset left SLO counts: %+v", slo)
+	}
+	if slo.Origin != boundary {
+		t.Fatalf("SLO origin %d not re-anchored at boundary %d", slo.Origin, boundary)
+	}
+	if a.Depth() == 0 {
+		t.Fatal("reset dropped carried queue contents")
+	}
+	k.RunTx(3)
+	if a.Stats.Completed != 2 {
+		t.Fatalf("carried transactions lost: %+v", a.Stats)
+	}
+	if slo.Completed != 2 {
+		t.Fatalf("post-reset completions missed the SLO window: %+v", slo)
+	}
+	// Completions land in windows measured from the new origin — the
+	// two carried transactions finish ~10 µs apart, so they occupy
+	// nearby windows instead of piling into a stale pre-reset bucket.
+	var winSum uint64
+	for _, w := range slo.Windows {
+		winSum += w.Completed
+	}
+	if winSum != 2 || len(slo.Windows) > 4 {
+		t.Fatalf("window carry broken: %d windows %+v", len(slo.Windows), slo.Windows)
+	}
+}
+
 func TestAdmissionDeterministicRerun(t *testing.T) {
 	run := func() (AdmissionStats, stats.Quantile, sim.Time) {
 		eng, k := openRig(2, 2, 4)

@@ -1,0 +1,71 @@
+package kernel
+
+import (
+	"testing"
+
+	"piranha/internal/sim"
+)
+
+func TestFailCPUsMigratesAndCompletes(t *testing.T) {
+	eng, k := newRig(2)
+	k.Spawn(0, &loopStream{n: 1000, perTx: 4}, 1)
+	k.Spawn(1, &loopStream{n: 1000, perTx: 4}, 2)
+	k.RunTx(4)
+	// Kill CPU 0 mid-run: its process must migrate to CPU 1, pay the
+	// re-dispatch penalty, and keep committing transactions.
+	eng.Schedule(eng.Now()+1, func() {
+		if n := k.FailCPUs([]int{0}, 5*sim.Microsecond); n != 1 {
+			t.Errorf("migrated %d processes, want 1", n)
+		}
+	})
+	k.RunTx(12)
+	if k.Tx < 12 {
+		t.Fatalf("tx=%d, migrated process stopped committing", k.Tx)
+	}
+	if got := k.AliveCPUs(); got != 1 {
+		t.Fatalf("alive CPUs = %d, want 1", got)
+	}
+	if len(k.procs[0]) != 0 || len(k.procs[1]) != 2 {
+		t.Fatalf("process lists after migration: cpu0=%d cpu1=%d",
+			len(k.procs[0]), len(k.procs[1]))
+	}
+}
+
+func TestFailCPUsRedispatchPenaltyDelays(t *testing.T) {
+	// One process, one surviving CPU: after the failure at ~t the process
+	// may not run again before t+penalty.
+	eng, k := newRig(2)
+	k.Spawn(0, &loopStream{n: 1000, perTx: 4}, 1)
+	k.RunTx(1)
+	failAt := eng.Now() + 1
+	const penalty = 50 * sim.Microsecond
+	eng.Schedule(failAt, func() { k.FailCPUs([]int{0}, penalty) })
+	k.RunTx(2)
+	if eng.Now() < failAt+penalty {
+		t.Fatalf("transaction committed at %d, before penalty elapsed at %d",
+			eng.Now(), failAt+penalty)
+	}
+}
+
+func TestFailCPUsOpenLoopWaitersMigrate(t *testing.T) {
+	// Parked open-loop waiters migrate without a wake event (they are
+	// not runnable); a later arrival must start them on the new CPU.
+	eng, k := openRig(2, 1, 0)
+	eng.Schedule(1, func() { k.FailCPUs([]int{0}, 5*sim.Microsecond) })
+	offer(eng, k, 2*sim.Microsecond, 3*sim.Microsecond)
+	k.RunTx(2)
+	a := k.Admission()
+	if a.Stats.Completed != 2 {
+		t.Fatalf("arrivals not served after migration: %+v", a.Stats)
+	}
+}
+
+func TestFailCPUsKillAllPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("killing every CPU did not panic")
+		}
+	}()
+	_, k := newRig(2)
+	k.FailCPUs([]int{0, 1}, 0)
+}

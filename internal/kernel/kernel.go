@@ -46,6 +46,11 @@ type Process struct {
 	rng    *sim.RNG
 	ready  bool
 	wakeAt sim.Time
+	// wakeGen invalidates in-flight wake events after a migration: each
+	// scheduled wake captures the generation and fires only if it still
+	// matches. It only ever changes when FailCPUs moves the process, so
+	// fault-free runs are bit-for-bit unaffected.
+	wakeGen uint64
 
 	// Open-loop fields (see admission.go). An open process executes one
 	// admitted transaction at a time: between transactions it parks in
@@ -64,6 +69,7 @@ type Kernel struct {
 	procs [][]*Process // per CPU
 	cur   []int        // round-robin position per CPU
 	live  []bool       // per-CPU loop scheduled
+	dead  []bool       // fail-stopped CPUs (nil until a failure)
 
 	tr  *trace.Tracer
 	adm *Admission // nil in closed-loop runs
@@ -106,7 +112,7 @@ func (k *Kernel) Spawn(cpuID int, s Stream, seed uint64) *Process {
 
 // kick (re)schedules a CPU's dispatch loop.
 func (k *Kernel) kick(cpuID int) {
-	if k.live[cpuID] {
+	if k.live[cpuID] || (k.dead != nil && k.dead[cpuID]) {
 		return
 	}
 	k.live[cpuID] = true
@@ -129,6 +135,9 @@ func (k *Kernel) pick(cpuID int) *Process {
 // dispatch runs one CPU for up to a quantum of simulated time.
 func (k *Kernel) dispatch(cpuID int) {
 	k.live[cpuID] = false
+	if k.dead != nil && k.dead[cpuID] {
+		return // fail-stopped: stale continuations die here
+	}
 	core := k.cores[cpuID]
 	now := k.eng.Now()
 	deadline := now + k.cfg.Quantum
@@ -196,10 +205,13 @@ func (k *Kernel) dispatch(cpuID int) {
 		case cpu.KIO:
 			p.ready = false
 			p.wakeAt = now + op.IODelay
-			wakeP := p
+			wakeP, gen := p, p.wakeGen
 			k.eng.Schedule(p.wakeAt, func() {
+				if wakeP.wakeGen != gen {
+					return // migrated since; the new CPU's wake governs
+				}
 				wakeP.ready = true
-				k.kick(cpuID)
+				k.kick(wakeP.CPU)
 			})
 			now = k.contextSwitch(core, now)
 			next := k.pick(cpuID)
@@ -266,3 +278,76 @@ func (k *Kernel) RunTxDriven(target uint64, drive func(cond func() bool)) sim.Ti
 
 // Cores exposes the kernel's cores (stat collection).
 func (k *Kernel) Cores() []*cpu.Core { return k.cores }
+
+// FailCPUs fail-stops the given CPUs: they never dispatch again, and
+// every process pinned to them migrates round-robin onto the surviving
+// CPUs in deterministic (victim-CPU, process-list) order. A migrated
+// process pays the re-dispatch penalty before it becomes runnable on its
+// new CPU (restart cost of recovery software rebuilding its context); a
+// process parked on the admission queue just moves — the next arrival
+// kicks its new CPU. Returns the number of processes migrated.
+func (k *Kernel) FailCPUs(cpus []int, penalty sim.Time) int {
+	if k.dead == nil {
+		k.dead = make([]bool, len(k.cores))
+	}
+	for _, c := range cpus {
+		k.dead[c] = true
+	}
+	alive := make([]int, 0, len(k.cores))
+	for i := range k.cores {
+		if !k.dead[i] {
+			alive = append(alive, i)
+		}
+	}
+	if len(alive) == 0 {
+		panic("kernel: fail-stop killed every CPU")
+	}
+	now := k.eng.Now()
+	migrated, rr := 0, 0
+	for _, c := range cpus {
+		ps := k.procs[c]
+		k.procs[c] = nil
+		k.cur[c] = 0
+		for _, p := range ps {
+			t := alive[rr%len(alive)]
+			rr++
+			p.CPU = t
+			p.wakeGen++ // in-flight wake events for the old CPU die
+			k.procs[t] = append(k.procs[t], p)
+			migrated++
+			if p.waitAdm {
+				continue
+			}
+			p.ready = false
+			wake := now + penalty
+			if p.wakeAt > wake {
+				wake = p.wakeAt // still blocked on I/O past the penalty
+			}
+			p.wakeAt = wake
+			wakeP, gen := p, p.wakeGen
+			k.eng.Schedule(wake, func() {
+				if wakeP.wakeGen != gen {
+					return
+				}
+				wakeP.ready = true
+				k.kick(wakeP.CPU)
+			})
+		}
+	}
+	return migrated
+}
+
+// AliveCPUs returns how many CPUs have not fail-stopped.
+func (k *Kernel) AliveCPUs() int {
+	if k.dead == nil {
+		return len(k.cores)
+	}
+	n := 0
+	for _, d := range k.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+

@@ -238,6 +238,10 @@ type node struct {
 	// the directory in the home memory's spare ECC bits (§2.5.2): flat
 	// index-addressed words, not pointer-boxed map values.
 	dir *linemap.Map[uint64]
+	// dead marks a fail-stopped node: it no longer sources requests, its
+	// home lines are served by its RAS mirror, and the reconstruction
+	// sweep has purged it from every surviving directory.
+	dead bool
 }
 
 // Fabric is the multi-node coherence domain: all nodes' engines, the
@@ -249,6 +253,13 @@ type Fabric struct {
 	nodes []*node
 	tr    *trace.Tracer
 	inj   *fault.Injector // nil when fault injection is off
+
+	// anyDead short-circuits every fail-stop check: until the first
+	// FailNode call the fault-free fast paths are untouched.
+	anyDead bool
+	// mirror maps each dead home to the surviving node serving its lines
+	// (valid only where nodes[i].dead).
+	mirror []NodeID
 
 	// Global protocol statistics.
 	InvalsSent  uint64
@@ -388,10 +399,163 @@ func (t tracedNet) Send(now sim.Time, from, to NodeID, bytes int, prio int) sim.
 func (f *Fabric) Proto(id NodeID) *NodeProto { return &NodeProto{f: f, id: id} }
 
 // HomeOf returns the node whose memory holds the line (8 KB page
-// interleave across nodes).
+// interleave across nodes). After a fail-stop, a dead home's lines are
+// served by its RAS mirror; the redirect costs one predicated load on
+// the fault-free path and nothing changes until a node actually dies.
 func (f *Fabric) HomeOf(l cache.LineAddr) NodeID {
 	page := uint64(l) >> (cache.PageShift - cache.LineShift)
-	return NodeID(page % uint64(f.cfg.Nodes))
+	h := NodeID(page % uint64(f.cfg.Nodes))
+	if f.anyDead && f.nodes[h].dead {
+		h = f.mirror[h]
+	}
+	return h
+}
+
+// FailStopStats summarizes one fail-stop directory reconstruction.
+type FailStopStats struct {
+	// SharersDropped counts entries purged of the dead node's sharer bit.
+	SharersDropped int
+	// OwnerReclaims counts exclusive entries reclaimed from the dead
+	// owner (the line's data is restored from the RAS mirror).
+	OwnerReclaims int
+	// HomesAdopted counts dead-homed entries rebuilt at the mirror.
+	HomesAdopted int
+}
+
+// nextAlive returns the first surviving node after id in ring order —
+// the RAS mirror that adopts id's home memory.
+func (f *Fabric) nextAlive(id NodeID) NodeID {
+	for i := 1; i < f.cfg.Nodes; i++ {
+		c := NodeID((int(id) + i) % f.cfg.Nodes)
+		if !f.nodes[c].dead {
+			return c
+		}
+	}
+	panic("pe: fail-stop killed every node")
+}
+
+// dropNode removes a fail-stopped node from one directory entry: a dead
+// exclusive owner reclaims the whole entry (memory is restored from the
+// mirror), a dead sharer is erased from the vector. Coarse vectors are
+// rebuilt from the surviving members, so the re-encoded group bits stay
+// a superset of the true sharers exactly as in normal operation.
+func dropNode(e directory.Entry, id NodeID) (directory.Entry, FailStopStats) {
+	var st FailStopStats
+	switch e.State {
+	case directory.Uncached:
+	case directory.Exclusive:
+		if e.Owner == id {
+			st.OwnerReclaims++
+			return directory.Clear(), st
+		}
+	case directory.Shared, directory.SharedCoarse:
+		if e.Sharers.Has(id) {
+			st.SharersDropped++
+			e.Sharers.Remove(id)
+			if e.Sharers.Empty() {
+				return directory.Clear(), st
+			}
+		}
+	}
+	return e, st
+}
+
+// purgeDead walks one surviving home's directory in ascending line order
+// and erases the dead node from every entry that names it. Each touched
+// entry costs a TSRF-mediated home-engine step plus the memory rewrite
+// (the directory lives in the home memory's ECC bits), serialized on the
+// recovery timeline.
+func (f *Fabric) purgeDead(done sim.Time, h *node, id NodeID, st *FailStopStats) sim.Time {
+	for _, line := range h.dir.Keys() {
+		e := f.dirEntry(h, line)
+		ne, d := dropNode(e, id)
+		if d.SharersDropped == 0 && d.OwnerReclaims == 0 {
+			continue
+		}
+		st.SharersDropped += d.SharersDropped
+		st.OwnerReclaims += d.OwnerReclaims
+		done = h.home.process(done, 0)
+		done += f.cfg.MemLatency
+		f.setDir(h, line, ne)
+	}
+	return done
+}
+
+// FailNode kills node id at time now (fail-stop). Recovery software,
+// modeled as a TSRF-mediated sweep on the surviving protocol engines,
+// reconstructs the directory: every surviving home is purged of the dead
+// node's sharer/owner state, and the dead home's own entries are rebuilt
+// at its RAS mirror — the mirrored memory carries the directory ECC bits
+// too, so the entries survive verbatim (minus the dead node itself) and
+// requests re-routed by HomeOf find them there. Returns when the sweep
+// completes and what it touched. Surviving L2 invariants are re-checked
+// afterwards; reconstruction must never leave coherence inconsistent.
+func (f *Fabric) FailNode(now sim.Time, id NodeID) (sim.Time, FailStopStats) {
+	var st FailStopStats
+	dead := f.nodes[id]
+	if dead.dead {
+		panic(fmt.Sprintf("pe: node %d fail-stopped twice", id))
+	}
+	dead.dead = true
+	f.anyDead = true
+	if f.mirror == nil {
+		f.mirror = make([]NodeID, f.cfg.Nodes)
+	}
+	m := f.nextAlive(id)
+	f.mirror[id] = m
+	// An earlier dead home whose mirror just died moves to ours: its
+	// adopted entries live in id's directory and are swept below with it.
+	for d := range f.mirror {
+		if f.nodes[d].dead && f.mirror[d] == id {
+			f.mirror[d] = m
+		}
+	}
+
+	done := now
+	for _, h := range f.nodes {
+		if h.dead {
+			continue
+		}
+		done = f.purgeDead(done, h, id, &st)
+	}
+
+	mn := f.nodes[m]
+	for _, line := range dead.dir.Keys() {
+		e := f.dirEntry(dead, line)
+		e, d := dropNode(e, id)
+		st.SharersDropped += d.SharersDropped
+		st.OwnerReclaims += d.OwnerReclaims
+		st.HomesAdopted++
+		done = mn.home.process(done, 0)
+		done += f.cfg.MemLatency
+		f.setDir(mn, line, e)
+	}
+	dead.dir.Reset()
+
+	for _, h := range f.nodes {
+		if h.dead || h.l2 == nil {
+			continue
+		}
+		if err := h.l2.CheckInvariants(); err != nil {
+			panic(fmt.Sprintf("pe: fail-stop reconstruction for node %d broke coherence on node %d: %v", id, h.id, err))
+		}
+	}
+	return done, st
+}
+
+// mirrorExtra returns the extra memory latency when h serves line as an
+// adopting mirror rather than its natural home: the read counts as a
+// RAS failover and pays the mirror-read cost.
+func (f *Fabric) mirrorExtra(now sim.Time, h *node, line cache.LineAddr) sim.Time {
+	if !f.anyDead {
+		return 0
+	}
+	page := uint64(line) >> (cache.PageShift - cache.LineShift)
+	nat := NodeID(page % uint64(f.cfg.Nodes))
+	if nat != h.id && f.nodes[nat].dead {
+		return f.inj.FailoverPenalty(now)
+	}
+	return 0
 }
 
 // Engines returns a node's home and remote engines (stats inspection).

@@ -212,7 +212,7 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 		dataReady = t
 		suppliedByChip = true
 	} else {
-		dataReady = start + f.cfg.MemLatency
+		dataReady = start + f.cfg.MemLatency + f.mirrorExtra(start, h, line)
 	}
 
 	excl := wantEx
@@ -247,19 +247,22 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 	return reply, svc, excl
 }
 
-// sharersExcept lists a directory entry's nodes excluding skip.
+// sharersExcept lists a directory entry's nodes excluding skip. After a
+// fail-stop, dead nodes are filtered out: the reconstruction sweep purges
+// precise vectors, but a coarse vector's re-encoded group bits can still
+// cover the dead node, and no message may ever target a dead chip.
 func (f *Fabric) sharersExcept(e directory.Entry, skip NodeID) []NodeID {
 	var out []NodeID
 	switch e.State {
 	case directory.Uncached:
 		// No copies exist anywhere; nothing to invalidate.
 	case directory.Exclusive:
-		if e.Owner != skip {
+		if e.Owner != skip && !(f.anyDead && f.nodes[e.Owner].dead) {
 			out = append(out, e.Owner)
 		}
 	case directory.Shared, directory.SharedCoarse:
 		for _, n := range e.Sharers.Members(f.cfg.Nodes) {
-			if n != skip {
+			if n != skip && !(f.anyDead && f.nodes[n].dead) {
 				out = append(out, n)
 			}
 		}

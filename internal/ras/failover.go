@@ -15,6 +15,11 @@ type Failover struct {
 
 	// Failovers counts uncorrectable errors served from the mirror.
 	Failovers uint64
+
+	// Adopted counts directory-resident lines of fail-stopped homes this
+	// mirror has taken over (the whole dead home fails over, not just
+	// one uncorrectable line).
+	Adopted uint64
 }
 
 // NewFailover returns a failover target; latency <= 0 selects the
@@ -36,4 +41,13 @@ func (f *Failover) Uncorrectable(now sim.Time) (extra sim.Time, recovered bool) 
 	_ = now
 	f.Failovers++
 	return f.MirrorLatency, true
+}
+
+// Takeover records the mirror adopting n directory-resident lines from
+// a dead home node after a fail-stop. The nil receiver declines.
+func (f *Failover) Takeover(n int) {
+	if f == nil || n <= 0 {
+		return
+	}
+	f.Adopted += uint64(n)
 }

@@ -128,6 +128,54 @@ func TestWatchdogSilentUnderProgress(t *testing.T) {
 	}
 }
 
+// TestWatchdogDeferForgivesRecoveryWindow: intervals overlapping a
+// declared recovery window must not count as strikes — a fail-stop
+// reconstruction sweep legitimately freezes progress for its whole
+// duration — but the watchdog re-arms afterwards and still catches a
+// counter that stays frozen once recovery is over.
+func TestWatchdogDeferForgivesRecoveryWindow(t *testing.T) {
+	eng := NewEngine()
+	var failMsg string
+	progress := uint64(7) // frozen throughout
+	w := NewWatchdog(eng, 100, 3, func() uint64 { return progress }, func(msg string) { failMsg = msg })
+	// Without Defer this fails at t=400; forgive through t=600.
+	w.Defer(600)
+	eng.Run()
+	if failMsg == "" {
+		t.Fatal("watchdog never fired after the recovery window closed")
+	}
+	// Strikes restart after the grace window: the tick at 600 is the last
+	// forgiven one (its interval overlaps grace), then 3 idle strikes at
+	// 700/800/900 → fail at t=900.
+	if eng.Now() != 900 {
+		t.Errorf("failed at t=%d, want 900", eng.Now())
+	}
+
+	// Progress resuming after the window keeps the watchdog silent.
+	eng2 := NewEngine()
+	fired := false
+	var p2 uint64
+	w2 := NewWatchdog(eng2, 100, 2, func() uint64 { return p2 }, func(string) { fired = true })
+	w2.Defer(500)
+	var bump func()
+	bump = func() {
+		p2++
+		if eng2.Now() < 2000 {
+			eng2.After(150, bump)
+		}
+	}
+	eng2.After(500, bump) // blackout until 500, healthy afterwards
+	eng2.RunUntil(2000)
+	w2.Stop()
+	if fired {
+		t.Fatal("watchdog fired despite post-recovery progress")
+	}
+
+	// Nil receiver is a no-op (fault-free runs carry no watchdog).
+	var wn *Watchdog
+	wn.Defer(100)
+}
+
 // TestWatchdogStopEmptiesQueue: Stop must cancel the armed tick, not
 // merely flag it dead — a stopped watchdog over a drained run leaves
 // the queue empty instead of one pending no-op tick per Stop.

@@ -28,8 +28,24 @@ type Watchdog struct {
 	primed  bool
 	idle    int
 	stopped bool
+	grace   Time    // strikes forgiven through this time (declared recovery)
 	pending EventID // the armed tick, cancelled by Stop
 	diag    func() string
+}
+
+// Defer declares a recovery window: intervals overlapping it are
+// forgiven instead of counted as strikes. A fail-stop reconstruction
+// sweep legitimately pre-books the surviving home engines for its whole
+// duration — a service blackout, not a wedge — and must not trip the
+// alarm. The tick cadence is unchanged (the watchdog consumes the same
+// engine sequence numbers), so byte-identity is unaffected.
+func (w *Watchdog) Defer(until Time) {
+	if w == nil {
+		return
+	}
+	if until > w.grace {
+		w.grace = until
+	}
 }
 
 // SetDiagnostic attaches an extra diagnostic source appended to the
@@ -77,6 +93,16 @@ func (w *Watchdog) tick() {
 		return
 	}
 	cur := w.progress()
+	if w.eng.Now()-w.interval < w.grace {
+		// This interval overlaps a declared recovery window: forgive it,
+		// but keep the counter current so the first fully post-recovery
+		// interval is judged on its own progress alone.
+		w.primed = true
+		w.last = cur
+		w.idle = 0
+		w.pending = w.eng.After(w.interval, w.tick)
+		return
+	}
 	if !w.primed || cur != w.last {
 		w.primed = true
 		w.last = cur

@@ -44,6 +44,11 @@ type Bin struct {
 	Arrivals uint64 `json:"arrivals,omitempty"` // transactions offered this interval
 	Admitted uint64 `json:"admitted,omitempty"` // accepted into the admission queue
 	Shed     uint64 `json:"shed,omitempty"`     // dropped by the bounded-queue shed policy
+
+	// Completions counts open-loop transactions finishing this interval
+	// — the per-bin throughput timeline a fail-stop campaign reads its
+	// pre-fault vs. post-recovery rates from.
+	Completions uint64 `json:"completions,omitempty"`
 }
 
 // NewSeries returns a sampler with the given bin width (which must be
@@ -152,6 +157,19 @@ func (s *Series) AddArrival(at sim.Time, shed bool) {
 	}
 }
 
+// AddCompletion records one open-loop transaction completing at the
+// given instant. Pre-origin instants are dropped, as in AddAccess.
+func (s *Series) AddCompletion(at sim.Time) {
+	if s == nil {
+		return
+	}
+	if at < s.Origin {
+		return
+	}
+	bin := s.ensure(int((at - s.Origin) / s.Interval))
+	bin.Completions++
+}
+
 // Reset discards all bins in place (keeping the backing array) and
 // restarts bin 0 at the given origin time.
 func (s *Series) Reset(origin sim.Time) {
@@ -243,6 +261,9 @@ func (s *Series) String() string {
 	if vals, any := s.arrivalValues(); any {
 		fmt.Fprintf(&b, "  arrivals  |%s|\n", Sparkline(vals))
 	}
+	if vals, any := s.completionValues(); any {
+		fmt.Fprintf(&b, "  completes |%s|\n", Sparkline(vals))
+	}
 	return b.String()
 }
 
@@ -268,6 +289,20 @@ func (s *Series) arrivalValues() ([]float64, bool) {
 	for i, b := range s.Bins {
 		out[i] = float64(b.Arrivals)
 		if b.Arrivals > 0 {
+			any = true
+		}
+	}
+	return out, any
+}
+
+// completionValues returns per-bin completion counts and whether any bin
+// saw one (closed-loop runs keep the String output unchanged).
+func (s *Series) completionValues() ([]float64, bool) {
+	out := make([]float64, s.Len())
+	any := false
+	for i, b := range s.Bins {
+		out[i] = float64(b.Completions)
+		if b.Completions > 0 {
 			any = true
 		}
 	}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"piranha/internal/sim"
+)
+
+// SLO is a per-window service-level-objective accountant: every
+// completed transaction either met the latency target or violated it,
+// every final shed counts as a violation (the client got nothing), and
+// the totals roll up into the three production-serving numbers — SLO
+// violation rate, goodput, and error-budget burn. Windows are fixed
+// spans of simulated time anchored at the measurement origin, so the
+// per-window series shows exactly when a fault's latency wake blew the
+// budget and when recovery pulled it back.
+//
+// Like *Series, the nil *SLO is the disabled accountant: every recording
+// method is a nil-safe no-op.
+type SLO struct {
+	// Target is the latency objective: a completion slower than this is
+	// a violation.
+	Target sim.Time `json:"target_ps"`
+	// Window is the accounting window width in simulated time.
+	Window sim.Time `json:"window_ps"`
+	// Budget is the tolerated violation fraction (the error budget);
+	// BudgetBurn reports ViolationRate/Budget, >1 meaning the budget is
+	// exhausted.
+	Budget float64 `json:"budget"`
+	// Origin anchors window 0's left edge (the warm/measure boundary).
+	Origin sim.Time `json:"origin_ps"`
+
+	// Completed/Violations/Shed are run totals; Windows holds the same
+	// counts bucketed per window.
+	Completed  uint64      `json:"completed"`
+	Violations uint64      `json:"violations"`
+	Shed       uint64      `json:"shed"`
+	Windows    []SLOWindow `json:"windows"`
+}
+
+// SLOWindow is one accounting window's counts.
+type SLOWindow struct {
+	Completed  uint64 `json:"completed"`
+	Violations uint64 `json:"violations"`
+	Shed       uint64 `json:"shed"`
+}
+
+// NewSLO returns an accountant for the given latency target, window
+// width, and error budget. A non-positive window defaults to 50 µs; a
+// non-positive budget defaults to 10%.
+func NewSLO(target, window sim.Time, budget float64) *SLO {
+	if target <= 0 {
+		panic("stats: non-positive SLO target")
+	}
+	if window <= 0 {
+		window = 50 * sim.Microsecond
+	}
+	if budget <= 0 {
+		budget = 0.1
+	}
+	return &SLO{Target: target, Window: window, Budget: budget}
+}
+
+// window grows Windows to include the window covering at.
+func (s *SLO) window(at sim.Time) *SLOWindow {
+	i := 0
+	if at > s.Origin {
+		i = int((at - s.Origin) / s.Window)
+	}
+	for len(s.Windows) <= i {
+		s.Windows = append(s.Windows, SLOWindow{})
+	}
+	return &s.Windows[i]
+}
+
+// Observe records one completion at time at with the given end-to-end
+// latency.
+func (s *SLO) Observe(at, lat sim.Time) {
+	if s == nil {
+		return
+	}
+	w := s.window(at)
+	s.Completed++
+	w.Completed++
+	if lat > s.Target {
+		s.Violations++
+		w.Violations++
+	}
+}
+
+// ObserveShed records one transaction dropped for good at time at: the
+// client saw an error, which burns budget like a violation.
+func (s *SLO) ObserveShed(at sim.Time) {
+	if s == nil {
+		return
+	}
+	s.Shed++
+	s.window(at).Shed++
+}
+
+// Reset clears the counters and windows and re-anchors window 0 at
+// origin (the warm/measure boundary).
+func (s *SLO) Reset(origin sim.Time) {
+	if s == nil {
+		return
+	}
+	s.Completed, s.Violations, s.Shed = 0, 0, 0
+	s.Windows = s.Windows[:0]
+	s.Origin = origin
+}
+
+// ViolationRate returns (violations+sheds)/(completions+sheds) — the
+// fraction of offered-and-settled transactions that missed the SLO.
+func (s *SLO) ViolationRate() float64 {
+	if s == nil {
+		return 0
+	}
+	n := s.Completed + s.Shed
+	if n == 0 {
+		return 0
+	}
+	return float64(s.Violations+s.Shed) / float64(n)
+}
+
+// BudgetBurn returns ViolationRate normalized by the error budget; a
+// value above 1 means the budget is spent.
+func (s *SLO) BudgetBurn() float64 {
+	if s == nil || s.Budget <= 0 {
+		return 0
+	}
+	return s.ViolationRate() / s.Budget
+}
+
+// Goodput returns SLO-compliant completions per second of simulated
+// time over span.
+func (s *SLO) Goodput(span sim.Time) float64 {
+	if s == nil || span <= 0 {
+		return 0
+	}
+	return float64(s.Completed-s.Violations) / (float64(span) / float64(sim.Second))
+}
+
+// String renders the totals plus a per-window violation sparkline.
+func (s *SLO) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "slo: target=%.1fus completed=%d violations=%d shed=%d rate=%.2f%% burn=%.2fx",
+		float64(s.Target)/float64(sim.Microsecond),
+		s.Completed, s.Violations, s.Shed,
+		100*s.ViolationRate(), s.BudgetBurn())
+	if len(s.Windows) > 0 {
+		vals := make([]float64, len(s.Windows))
+		for i, w := range s.Windows {
+			if n := w.Completed + w.Shed; n > 0 {
+				vals[i] = float64(w.Violations+w.Shed) / float64(n)
+			}
+		}
+		fmt.Fprintf(&b, "\n  violation |%s|", Sparkline(vals))
+	}
+	return b.String()
+}

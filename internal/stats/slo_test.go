@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"piranha/internal/sim"
+)
+
+func TestSLOAccounting(t *testing.T) {
+	s := NewSLO(10*sim.Microsecond, 100*sim.Microsecond, 0.1)
+	s.Observe(5*sim.Microsecond, 8*sim.Microsecond)    // met
+	s.Observe(150*sim.Microsecond, 20*sim.Microsecond) // violated, window 1
+	s.ObserveShed(160 * sim.Microsecond)               // window 1
+	if s.Completed != 2 || s.Violations != 1 || s.Shed != 1 {
+		t.Fatalf("totals: %+v", s)
+	}
+	// rate = (1 violation + 1 shed) / (2 completed + 1 shed)
+	if got := s.ViolationRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("violation rate %v", got)
+	}
+	if burn := s.BudgetBurn(); burn < 6.6 || burn > 6.7 {
+		t.Fatalf("budget burn %v", burn)
+	}
+	// goodput = 1 compliant completion over 1 ms
+	if g := s.Goodput(sim.Millisecond); g != 1000 {
+		t.Fatalf("goodput %v", g)
+	}
+	if len(s.Windows) != 2 || s.Windows[0].Completed != 1 || s.Windows[1].Shed != 1 {
+		t.Fatalf("windows: %+v", s.Windows)
+	}
+}
+
+func TestSLOResetReanchors(t *testing.T) {
+	s := NewSLO(10*sim.Microsecond, 50*sim.Microsecond, 0)
+	s.Observe(5*sim.Microsecond, 1*sim.Microsecond)
+	s.Reset(200 * sim.Microsecond)
+	if s.Completed != 0 || len(s.Windows) != 0 || s.Origin != 200*sim.Microsecond {
+		t.Fatalf("reset incomplete: %+v", s)
+	}
+	s.Observe(210*sim.Microsecond, 1*sim.Microsecond)
+	if len(s.Windows) != 1 {
+		t.Fatalf("post-reset observation landed in window %d", len(s.Windows)-1)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(1, 2)
+	s.ObserveShed(1)
+	s.Reset(0)
+	if s.ViolationRate() != 0 || s.BudgetBurn() != 0 || s.Goodput(sim.Second) != 0 {
+		t.Fatal("nil SLO returned non-zero metrics")
+	}
+	if s.String() != "" {
+		t.Fatal("nil SLO rendered text")
+	}
+}
+
+func TestSLOString(t *testing.T) {
+	s := NewSLO(10*sim.Microsecond, 50*sim.Microsecond, 0.1)
+	s.Observe(5*sim.Microsecond, 20*sim.Microsecond)
+	out := s.String()
+	if !strings.Contains(out, "target=10.0us") || !strings.Contains(out, "violation |") {
+		t.Fatalf("unexpected render:\n%s", out)
+	}
+}

@@ -98,6 +98,14 @@ const (
 	// no runnable process on the CPU.
 	KCtxSwitch
 	KIdle
+	// KFaultOnset/KFaultDetect/KFaultRecover are the fail-stop timeline
+	// instants: the node dies, the survivors notice, and degraded-mode
+	// capacity is restored. Node is the dead chip; Arg on KFaultRecover
+	// is the MTTR in nanoseconds, so a failure's latency wake lines up
+	// with its recovery cost in the Perfetto view.
+	KFaultOnset
+	KFaultDetect
+	KFaultRecover
 	nKinds
 )
 
@@ -111,6 +119,7 @@ var kindNames = [nKinds]string{
 	"hop", "ics",
 	"page-hit", "page-miss", "write",
 	"ctx-switch", "idle",
+	"fault-onset", "fault-detect", "fault-recover",
 }
 
 // componentOf maps each kind to its canonical component (used for name
@@ -123,6 +132,7 @@ var componentOf = [nKinds]Component{
 	NOC, NOC,
 	Mem, Mem, Mem,
 	Kernel, Kernel,
+	Kernel, Kernel, Kernel,
 }
 
 // spanNames precomputes "component.kind" so counting costs no

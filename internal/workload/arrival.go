@@ -53,6 +53,14 @@ type ArrivalSpec struct {
 	// Capacity bounds the admission queue; arrivals beyond it are shed
 	// (counted, never executed). Zero means unbounded.
 	Capacity int
+	// RetryBudget, when positive on a bounded queue, re-offers a rejected
+	// arrival up to that many times with deterministic exponential backoff
+	// before shedding it for good. Zero keeps the immediate-shed policy.
+	RetryBudget int
+	// RetryBackoff is the delay before the first re-offer (default 1 µs).
+	RetryBackoff sim.Time
+	// RetryFactor multiplies the backoff per attempt (default 2).
+	RetryFactor int
 	// Mix is the multi-tenant composition of the stream. Empty means a
 	// single tenant running the experiment's own workload kind. A
 	// non-empty mix assigns each arrival a tenant drawn by weight, and
@@ -99,6 +107,12 @@ func (a ArrivalSpec) Validate() error {
 	}
 	if a.Capacity < 0 {
 		return fmt.Errorf("workload: negative admission capacity %d", a.Capacity)
+	}
+	if a.RetryBudget < 0 {
+		return fmt.Errorf("workload: negative retry budget %d", a.RetryBudget)
+	}
+	if a.RetryBudget > 0 && a.Capacity == 0 {
+		return fmt.Errorf("workload: retry budget %d needs a bounded queue (cap > 0)", a.RetryBudget)
 	}
 	for _, t := range a.Mix {
 		if t.Weight <= 0 {
@@ -248,6 +262,7 @@ func (g *ArrivalGen) nextDiurnal() sim.Time {
 //	mmpp,rate=1.5e5,burst=8,onfrac=0.2,period=100us
 //	diurnal,rate=2e5,depth=0.8,period=500us
 //	poisson,rate=2e5,mix=oltp:3/dss:1
+//	poisson,rate=2e5,cap=64,retry=3,backoff=2us,factor=2
 //
 // The first comma-separated token may name the process; every other
 // token is key=value. Durations accept ns/us/ms suffixes.
@@ -280,6 +295,12 @@ func ParseArrivals(s string) (ArrivalSpec, error) {
 			a.Period, err = parseDuration(v)
 		case "cap":
 			a.Capacity, err = strconv.Atoi(v)
+		case "retry":
+			a.RetryBudget, err = strconv.Atoi(v)
+		case "backoff":
+			a.RetryBackoff, err = parseDuration(v)
+		case "factor":
+			a.RetryFactor, err = strconv.Atoi(v)
 		case "mix":
 			a.Mix, err = parseMix(v)
 		default:

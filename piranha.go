@@ -64,6 +64,16 @@ type FaultPlan = fault.Plan
 // FaultStats is the per-run fault counter block (Result.Faults).
 type FaultStats = fault.Stats
 
+// NodeFailure is one scheduled fail-stop node death in a FaultPlan: the
+// chip dies At picoseconds into the measured window, and recovery runs
+// the RAS-mirror takeover, directory reconstruction sweep, and kernel
+// process migration. See FaultPlan.FailStop.
+type NodeFailure = fault.NodeFailure
+
+// Recovery is the fail-stop recovery block (Result.Recovery): per-node
+// MTTR timelines and the degraded-mode capacity fraction.
+type Recovery = fault.Recovery
+
 // Arrivals describes an open-loop arrival stream: the process shape
 // (Poisson, bursty MMPP, diurnal), the mean offered rate in transactions
 // per second of simulated time, the admission-queue capacity, and an
@@ -221,6 +231,11 @@ func WithFaults(p FaultPlan) Option {
 		if p.Mirrored && rc.exp.FaultEscalate == nil {
 			rc.exp.FaultEscalate = ras.NewFailover(p.MirrorLatency).Uncorrectable
 		}
+		if len(p.FailStop) > 0 && rc.exp.FaultAdopt == nil {
+			// Fail-stop recovery always has a mirror: the dead home's
+			// memory (and its in-memory directory) fails over to it.
+			rc.exp.FaultAdopt = ras.NewFailover(p.MirrorLatency).Takeover
+		}
 	}
 }
 
@@ -302,3 +317,11 @@ type DSSConfig = workload.DSSConfig
 
 // Nanoseconds converts a simulated duration for reporting.
 func Nanoseconds(t sim.Time) float64 { return float64(t) / float64(sim.Nanosecond) }
+
+// Simulated-time units, for scheduling absolute instants like
+// NodeFailure.At (sim.Time counts picoseconds).
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+)
