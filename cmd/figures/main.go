@@ -10,7 +10,8 @@
 //	figures -parallel 4 # bound the simulation worker pool (0 = all CPUs)
 //	figures -only fig5  # one artifact: table1, fig5, fig6, fig7, fig8,
 //	                    # fig9, tpcc, pess, openpage, cmi, nonak,
-//	                    # microcode, link, directory
+//	                    # microcode, link, directory, scaling (opt-in:
+//	                    # the N-node torus suite runs only when named)
 //
 // Every simulation is deterministic and self-contained, so artifacts are
 // generated concurrently (and each config sweep fans out internally via
@@ -76,6 +77,10 @@ func main() {
 		{"link", func() piranha.FigureReport { return piranha.Sec261LinkCode() }},
 		{"directory", func() piranha.FigureReport { return piranha.DirectoryNote() }},
 		{"fig9", func() piranha.FigureReport { return piranha.Fig9Area() }},
+		// Opt-in (see the selection loop): the N-node scaling suite
+		// simulates up to 1024-node machines, so it runs only when named
+		// by -only — the default figures_output.txt golden is unchanged.
+		{"scaling", func() piranha.FigureReport { return piranha.ScalingSuite(scale) }},
 	}
 
 	var selected []struct {
@@ -83,7 +88,7 @@ func main() {
 		gen  func() piranha.FigureReport
 	}
 	for _, a := range artifacts {
-		if *only == "" || a.name == *only {
+		if a.name == *only || (*only == "" && a.name != "scaling") {
 			selected = append(selected, a)
 		}
 	}

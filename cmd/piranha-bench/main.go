@@ -1,6 +1,6 @@
 // Command piranha-bench measures the simulator's host-side performance
-// and emits a versioned JSON report (BENCH_9.json) so the repository
-// carries a committed benchmark trajectory. Four families of benchmarks
+// and emits a versioned JSON report (BENCH_10.json) so the repository
+// carries a committed benchmark trajectory. Five families of benchmarks
 // run:
 //
 //   - End-to-end: full OLTP and DSS experiments at P1 and P8, reporting
@@ -24,6 +24,13 @@
 //     per-interval completion bins. The harness fails if the degraded
 //     machine's post-recovery rate falls below half the pre-fault rate,
 //     or if the run's JSON diverges between -jintra 1 and 4.
+//   - Scaling: OLTP on the glueless 2-D torus at 8 through 1024 nodes
+//     (quick: through 64) with a fixed per-node transaction budget, so
+//     host ns per simulated transaction is the per-node simulation
+//     rate. The harness fails if the 1024-node rate exceeds 10x the
+//     64-node rate (the sparse-activation O(active) contract), or if
+//     the anchor row's simulated JSON diverges across a rerun or
+//     between -jintra 1 and 4.
 //
 // With -baseline, the micro rows are compared against a previously
 // committed report and the run fails on a >10% allocs/op regression
@@ -58,7 +65,7 @@ import (
 // trajectory index (BENCH_<benchVersion>.json).
 const (
 	schemaVersion = 1
-	benchVersion  = 9
+	benchVersion  = 10
 )
 
 // Result is one benchmark row.
@@ -80,7 +87,7 @@ type Result struct {
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
 }
 
-// Report is the whole BENCH_9.json document.
+// Report is the whole BENCH_10.json document.
 type Report struct {
 	SchemaVersion int    `json:"schema_version"`
 	BenchVersion  int    `json:"bench_version"`
@@ -100,6 +107,24 @@ type Report struct {
 	// Chaos is the committed fail-stop robustness row (simulated,
 	// deterministic per seed).
 	Chaos *ChaosSummary `json:"chaos,omitempty"`
+	// Scaling holds the N-node torus rows: per-node simulation rate and
+	// the simulated throughput curve (the simulated numbers are
+	// deterministic per seed; the host rates are not).
+	Scaling []ScalingRow `json:"scaling,omitempty"`
+}
+
+// ScalingRow is one N-node point of the scaling section. Transactions
+// scale with the node count, so NsPerSimTx (host ns per simulated
+// transaction) is the per-node simulation rate and staying within 10x
+// of the 64-node row at 1024 nodes means the hot paths grew with the
+// active set, not the machine size.
+type ScalingRow struct {
+	Name       string  `json:"name"`
+	Nodes      int     `json:"nodes"`
+	MeasureTx  uint64  `json:"measure_tx"`
+	NsPerSimTx float64 `json:"ns_per_sim_tx"`
+	// SimNsPerTx is the simulated time per transaction (deterministic).
+	SimNsPerTx float64 `json:"sim_ns_per_tx"`
 }
 
 // ChaosSummary is the fail-stop row: one node of a two-chip open-loop
@@ -266,6 +291,77 @@ func failStopBench(seed uint64) *ChaosSummary {
 	return sum
 }
 
+// scalingBench runs the N-node scaling suite: OLTP on ScaleOut torus
+// machines with piranha.DefaultPerNodeScale transactions per node. The
+// anchor row (64 nodes, or the quick list's midpoint) additionally
+// reruns serially and under -jintra 4; the harness fails unless all
+// three simulated Results serialize identically. After the sweep the
+// per-node rate gate runs: at 1024 nodes, host ns per simulated
+// transaction must stay within 10x of the 64-node row.
+func scalingBench(seed uint64, quick bool) []ScalingRow {
+	nodes := []int{8, 64, 256, 1024}
+	anchor := 64
+	if quick {
+		nodes = []int{8, 32, 64}
+		anchor = 32
+	}
+	per := piranha.DefaultPerNodeScale
+	run := func(n, workers int) (core.Result, float64) {
+		exp := core.Experiment{
+			Name:         fmt.Sprintf("scaling/oltp/%dn", n),
+			Sys:          piranha.ScaleOut(n, 1),
+			Work:         core.WorkloadSpec{Kind: core.OLTP},
+			WarmTx:       per.Warm * uint64(n),
+			MeasureTx:    per.Measure * uint64(n),
+			Seed:         seed,
+			IntraWorkers: workers,
+		}
+		//piranha:allow determinism host benchmark harness measures wall-clock by design
+		t0 := time.Now()
+		res := core.Run(exp)
+		//piranha:allow determinism host benchmark harness measures wall-clock by design
+		dt := time.Since(t0)
+		if res.Tx != exp.MeasureTx {
+			fatalf("%s: measured %d transactions, want %d", exp.Name, res.Tx, exp.MeasureTx)
+		}
+		return res, float64(dt.Nanoseconds()) / float64(exp.MeasureTx)
+	}
+	rows := make([]ScalingRow, 0, len(nodes))
+	rates := map[int]float64{}
+	for _, n := range nodes {
+		res, nsPerTx := run(n, 0)
+		if n == anchor {
+			b1, err := json.Marshal(res)
+			if err != nil {
+				fatalf("scaling row: marshal: %v", err)
+			}
+			rerun, _ := run(n, 0)
+			b2, _ := json.Marshal(rerun)
+			j4, _ := run(n, 4)
+			b3, _ := json.Marshal(j4)
+			if !bytes.Equal(b1, b2) {
+				fatalf("scaling row %dn: JSON diverged across reruns", n)
+			}
+			if !bytes.Equal(b1, b3) {
+				fatalf("scaling row %dn: JSON diverged between -jintra 1 and 4", n)
+			}
+		}
+		rows = append(rows, ScalingRow{
+			Name:       fmt.Sprintf("scaling/oltp/%dn", n),
+			Nodes:      n,
+			MeasureTx:  per.Measure * uint64(n),
+			NsPerSimTx: nsPerTx,
+			SimNsPerTx: res.TimePerTx,
+		})
+		rates[n] = nsPerTx
+	}
+	if r64, r1024 := rates[64], rates[1024]; r64 > 0 && r1024 > 0 && r1024 > 10*r64 {
+		fatalf("scaling: 1024-node per-node rate %.0f ns/sim-tx exceeds 10x the 64-node rate %.0f ns/sim-tx",
+			r1024, r64)
+	}
+	return rows
+}
+
 // measure times iters calls of fn, each covering ops operations, after
 // warm calls to reach steady state, and returns per-operation cost.
 func measure(name, kind string, warm, iters, ops int, fn func()) Result {
@@ -419,7 +515,7 @@ func fatalf(format string, args ...any) {
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller transaction counts and iteration budgets (CI smoke)")
-	out := flag.String("o", "BENCH_9.json", "output report path")
+	out := flag.String("o", "BENCH_10.json", "output report path")
 	baseline := flag.String("baseline", "", "compare micro allocs/op against this committed report (fail on >10% regression)")
 	seed := flag.Uint64("seed", 0, "workload seed for the end-to-end and sweep rows (0 = default)")
 	flag.Parse()
@@ -522,6 +618,15 @@ func main() {
 	rep.Chaos = ch
 	fmt.Printf("%-22s mttr %8.0f ns  pre %8.0f tx/s  post %8.0f tx/s  ratio %.2f  sloviol %.3f\n",
 		ch.Name, ch.MTTRNs, ch.PreFaultTxS, ch.PostRecoveryTxS, ch.DegradedRatio, ch.SLOViolationRate)
+
+	// The N-node scaling section: per-node simulation rate on the torus
+	// machines, with the O(active) 10x gate and anchor-row byte-identity
+	// enforced inside.
+	rep.Scaling = scalingBench(*seed, *quick)
+	for _, row := range rep.Scaling {
+		fmt.Printf("%-22s %12.0f ns/sim-tx  sim %8.0f ns/tx  (%d nodes, %d tx)\n",
+			row.Name, row.NsPerSimTx, row.SimNsPerTx, row.Nodes, row.MeasureTx)
+	}
 
 	// The refactor's contract: the three hot paths allocate nothing in
 	// steady state. Enforce it on every run, not just under -baseline.

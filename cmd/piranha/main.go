@@ -11,7 +11,15 @@
 //
 // Configurations: p1, p2, p4, p8 (Piranha prototype with N cores), ino,
 // ooo (next-generation 1 GHz processor), p8f (full-custom Piranha), pess
-// (pessimistic ASIC parameters). Workloads: oltp, dss, tpcc, web.
+// (pessimistic ASIC parameters), and the glueless scale-out machines
+// scale8/scale32/scale64/scale256/scale1024 (single-core chips on a 2-D
+// torus; -chips must be left alone or match). Workloads: oltp, dss,
+// tpcc, web.
+//
+// -scaling-sweep runs the N-node scaling suite instead: per workload it
+// runs ScaleOut machines at each node count ('default' = 8,64,256,1024)
+// with a fixed per-node transaction budget and prints throughput,
+// speedup vs the smallest machine, and parallel efficiency.
 //
 // Sweeps fan out across host CPUs (bounded by -parallel); each run is an
 // isolated deterministic simulation, so results are printed in sweep
@@ -210,6 +218,8 @@ func main() {
 		faultGrid = flag.String("fault-grid", "0,1,2,4,8", "comma-separated rate multipliers swept per config x workload pair")
 		arrivals  = flag.String("arrivals", "", "open-loop arrival stream, e.g. 'poisson,rate=2e5,cap=256' or 'mmpp,rate=1.5e5,burst=8,mix=oltp:3/dss:1' (rate in tx/s of simulated time; with -load-sweep the rate is set per point and may be omitted)")
 		loadSweep = flag.String("load-sweep", "", "load-sweep campaign: 'default' or comma-separated capacity multipliers (e.g. '0.3,0.7,0.95,1.2') run open-loop per config x workload pair")
+		scaling   = flag.String("scaling-sweep", "", "N-node scaling sweep on the glueless 2-D torus: 'default' (8,64,256,1024) or comma-separated node counts (e.g. '8,64'); -warm/-tx become per-node budgets when set")
+		scaleCPUs = flag.Int("scale-cpus", 1, "cores per chip for -scaling-sweep machines")
 	)
 	flag.Parse()
 
@@ -247,12 +257,92 @@ func main() {
 		"p1": piranha.P1(), "p2": piranha.P2(), "p4": piranha.P4(),
 		"p8": piranha.P8(), "ino": piranha.INO(), "ooo": piranha.OOO(),
 		"p8f": piranha.P8F(), "pess": piranha.Pessimistic(),
+		"scale8": piranha.ScaleOut8(), "scale32": piranha.ScaleOut32(),
+		"scale64": piranha.ScaleOut64(), "scale256": piranha.ScaleOut256(),
+		"scale1024": piranha.ScaleOut1024(),
+	}
+	// lookup resolves a -config name and applies -chips: flat-network
+	// configs take the flag verbatim; scale-out configs carry their own
+	// torus, so a conflicting -chips is a diagnostic, not a mis-built
+	// machine (the Validate call is the NewSystemErr check run early).
+	lookup := func(c string) piranha.SystemConfig {
+		sys, ok := sysByName[c]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
+			os.Exit(2)
+		}
+		if sys.Topology == nil || *chips != 1 {
+			sys.Chips = *chips
+		}
+		if err := sys.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "config %q: %v (drop -chips or pick the matching scale-out preset)\n", c, err)
+			os.Exit(2)
+		}
+		return sys
 	}
 	kindByName := map[string]core.WorkloadKind{
 		"oltp": core.OLTP, "dss": core.DSS, "tpcc": core.TPCC, "web": core.WEB,
 	}
 
 	workloads := strings.Split(*work, ",")
+
+	if *scaling != "" {
+		// N-node scaling suite: one weak-scaling sweep per workload over
+		// ScaleOut machines (§2.6's 1024-node design target). -config is
+		// ignored — the machine is derived from the node counts.
+		cfg := piranha.ScalingSweep{
+			CPUsPerChip:  *scaleCPUs,
+			Seed:         *seed,
+			IntraWorkers: *jintra,
+		}
+		if *scaling != "default" {
+			for _, tok := range strings.Split(*scaling, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil || n < 2 {
+					fmt.Fprintf(os.Stderr, "bad -scaling-sweep node count %q\n", tok)
+					os.Exit(2)
+				}
+				cfg.Nodes = append(cfg.Nodes, n)
+			}
+		}
+		// -warm/-tx default to the sweep's per-node budget; honor them
+		// only when the user set them (as per-node counts).
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "warm":
+				cfg.PerNode.Warm = *warm
+			case "tx":
+				cfg.PerNode.Measure = *tx
+			}
+		})
+		if cfg.PerNode.Warm > 0 || cfg.PerNode.Measure > 0 {
+			if cfg.PerNode.Warm == 0 {
+				cfg.PerNode.Warm = piranha.DefaultPerNodeScale.Warm
+			}
+			if cfg.PerNode.Measure == 0 {
+				cfg.PerNode.Measure = piranha.DefaultPerNodeScale.Measure
+			}
+		}
+		piranha.SetParallelism(*parallel)
+		enc := json.NewEncoder(os.Stdout)
+		for _, w := range workloads {
+			kind, ok := kindByName[w]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown workload %q\n", w)
+				os.Exit(2)
+			}
+			s := piranha.RunScalingSweep(piranha.Workload{Kind: kind}, cfg)
+			if *jsonOut {
+				if err := enc.Encode(s); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				continue
+			}
+			fmt.Println(s)
+		}
+		return
+	}
 
 	if *loadSweep != "" && *faults != "" {
 		// Composed chaos campaign: the load sweep crossed with the fault
@@ -270,12 +360,7 @@ func main() {
 		piranha.SetParallelism(*parallel)
 		enc := json.NewEncoder(os.Stdout)
 		for _, c := range strings.Split(*config, ",") {
-			sys, ok := sysByName[c]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
-				os.Exit(2)
-			}
-			sys.Chips = *chips
+			sys := lookup(c)
 			for _, w := range workloads {
 				kind, ok := kindByName[w]
 				if !ok {
@@ -321,12 +406,7 @@ func main() {
 		piranha.SetParallelism(*parallel)
 		enc := json.NewEncoder(os.Stdout)
 		for _, c := range strings.Split(*config, ",") {
-			sys, ok := sysByName[c]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
-				os.Exit(2)
-			}
-			sys.Chips = *chips
+			sys := lookup(c)
 			for _, w := range workloads {
 				kind, ok := kindByName[w]
 				if !ok {
@@ -357,12 +437,7 @@ func main() {
 	var exps []core.Experiment
 	var pairs []string // campaign mode: config/workload group labels
 	for _, c := range strings.Split(*config, ",") {
-		sys, ok := sysByName[c]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown config %q\n", c)
-			os.Exit(2)
-		}
-		sys.Chips = *chips
+		sys := lookup(c)
 		for _, w := range workloads {
 			kind, ok := kindByName[w]
 			if !ok {

@@ -772,3 +772,34 @@ func DirectoryNote() FigureReport {
 func directorySpareBits() int {
 	return ecc.SpareBitsPerLine(cache.LineBytes, ecc.DataBits)
 }
+
+// ScalingSuite renders the N-node scaling section: weak-scaling OLTP
+// and DSS sweeps over the glueless 2-D torus machines (§2.6's design
+// target is 1024 nodes). Paper scale runs the full 8→1024 sweep; quick
+// scale stops at 64 nodes. The suite is opt-in (figures -only scaling)
+// so the default figures_output.txt golden is unchanged.
+func ScalingSuite(s Scale) FigureReport {
+	nodes := DefaultScalingNodes
+	if s.Measure <= QuickScale.Measure {
+		nodes = []int{8, 32, 64}
+	}
+	metrics := map[string]float64{}
+	var text strings.Builder
+	var all []Result
+	for _, kind := range []core.WorkloadKind{core.OLTP, core.DSS} {
+		sw := RunScalingSweep(Workload{Kind: kind}, ScalingSweep{Nodes: nodes})
+		fmt.Fprintln(&text, sw)
+		for _, p := range sw.Points {
+			metrics[fmt.Sprintf("%s_speedup_%dn", kind, p.Nodes)] = p.Speedup
+			metrics[fmt.Sprintf("%s_efficiency_%dn", kind, p.Nodes)] = p.Efficiency
+			all = append(all, p.Result)
+		}
+	}
+	return FigureReport{
+		ID:      "scaling",
+		Title:   fmt.Sprintf("glueless scale-out, %d→%d nodes", nodes[0], nodes[len(nodes)-1]),
+		Text:    text.String(),
+		Results: all,
+		Metrics: metrics,
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"piranha/internal/cpu"
 	"piranha/internal/fault"
 	"piranha/internal/kernel"
@@ -42,8 +44,45 @@ type System struct {
 	Cores  []*cpu.Core // flattened across chips
 }
 
-// NewSystem builds the machine.
+// Validate checks the structural constraints NewSystemErr enforces —
+// a topology whose node count matches Chips and whose graph is
+// connected — without building the machine. Command-line front ends
+// run it before committing to construction so a typo'd flag combination
+// is a one-line diagnostic instead of a mid-run failure.
+func (cfg SystemConfig) Validate() error {
+	if cfg.Topology == nil {
+		return nil
+	}
+	chips := cfg.Chips
+	if chips < 1 {
+		chips = 1
+	}
+	if n := cfg.Topology.Nodes(); n != chips {
+		return fmt.Errorf("topology has %d nodes but the system has %d chips", n, chips)
+	}
+	if _, _, err := noc.Routes(cfg.Topology); err != nil {
+		return err
+	}
+	return nil
+}
+
+// NewSystem builds the machine. It panics if the configuration is
+// invalid (e.g. a degenerate topology); callers that want to surface
+// configuration mistakes as errors should use NewSystemErr.
 func NewSystem(cfg SystemConfig) *System {
+	s, err := NewSystemErr(cfg)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	return s
+}
+
+// NewSystemErr builds the machine, returning an error instead of
+// panicking when the configuration cannot be assembled — a topology
+// whose node count disagrees with Chips, or one the router model
+// rejects. Command-line front ends use this to print a diagnostic
+// rather than a stack trace.
+func NewSystemErr(cfg SystemConfig) (*System, error) {
 	if cfg.Chips < 1 {
 		cfg.Chips = 1
 	}
@@ -62,9 +101,12 @@ func NewSystem(cfg SystemConfig) *System {
 		pcfg.Nodes = cfg.Chips
 		var net pe.Network
 		if cfg.Topology != nil {
+			if n := cfg.Topology.Nodes(); n != cfg.Chips {
+				return nil, fmt.Errorf("topology has %d nodes but the system has %d chips", n, cfg.Chips)
+			}
 			tn, err := pe.NewTopologyNetwork(cfg.Topology, sim.MHz(500), 1)
 			if err != nil {
-				panic("core: " + err.Error())
+				return nil, err
 			}
 			net = tn
 		} else {
@@ -85,7 +127,7 @@ func NewSystem(cfg SystemConfig) *System {
 		s.Cores = append(s.Cores, chip.Cores...)
 	}
 	s.Kern = kernel.New(s.Engine, s.Cores, cfg.Kernel)
-	return s
+	return s, nil
 }
 
 // Attach wires a tracer and an interval sampler (either may be nil)

@@ -78,3 +78,116 @@ func TestExhaustiveRoundTripSmallSystems(t *testing.T) {
 		}
 	}
 }
+
+// TestRoundTrip1000Nodes exercises the codec at a node count that does
+// NOT divide evenly into the 42 coarse-vector bits: ceil(1000/42) = 24
+// nodes per group, so the 42 groups nominally cover 1008 ids and the
+// last group's expansion must clamp at node 1000 instead of inventing
+// sharers 1000..1007 (which a glueless 1000-node machine would then
+// try to invalidate). The 2–4-node exhaustive test above never sees
+// this: its group size is 1.
+func TestRoundTrip1000Nodes(t *testing.T) {
+	const nodes = 1000
+	cfg := Config{Nodes: nodes}
+	if g := cfg.GroupSize(); g != 24 {
+		t.Fatalf("group size %d, want 24", g)
+	}
+
+	// Exclusive with a high owner id uses the full 10-bit pointer.
+	bits, err := Encode(cfg, Entry{State: Exclusive, Owner: 999})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(cfg, bits); got.State != Exclusive || got.Owner != 999 {
+		t.Fatalf("exclusive owner 999 round-trips to %+v", got)
+	}
+
+	// Limited-pointer form is exact at any id spread.
+	var ptr NodeSet
+	for _, n := range []NodeID{5, 41, 983, 999} {
+		ptr.Add(n)
+	}
+	bits, err = Encode(cfg, Entry{State: Shared, Sharers: ptr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Decode(cfg, bits); got.Sharers != ptr {
+		t.Fatalf("limited-pointer sharers round-trip to %v", got.Sharers.Members(nodes))
+	}
+
+	// Coarse form: the decode is a clamped superset — every true sharer
+	// present, nothing at or past node 1000, and only whole (clamped)
+	// groups of the encoded members.
+	cases := [][]NodeID{
+		{999},                  // last group: covers 984..1007 unclamped
+		{0, 500, 996},          // first, middle, and last group
+		{983, 984},             // straddles the group 40/41 boundary
+		{42, 66, 90, 114, 138}, // five sharers force coarse in practice
+	}
+	for _, ids := range cases {
+		var truth NodeSet
+		groups := map[int]bool{}
+		for _, n := range ids {
+			truth.Add(n)
+			groups[cfg.group(n)] = true
+		}
+		bits, err := Encode(cfg, Entry{State: SharedCoarse, Sharers: truth})
+		if err != nil {
+			t.Fatalf("%v: %v", ids, err)
+		}
+		got := Decode(cfg, bits)
+		if got.State != SharedCoarse {
+			t.Fatalf("%v: state %v", ids, got.State)
+		}
+		for _, n := range ids {
+			if !got.Sharers.Has(n) {
+				t.Errorf("%v: decode lost sharer %d", ids, n)
+			}
+		}
+		for w := (nodes + 63) / 64; w < len(got.Sharers); w++ {
+			if got.Sharers[w] != 0 {
+				t.Errorf("%v: decode set bits past the node count (word %d)", ids, w)
+			}
+		}
+		want := 0
+		for g := range groups {
+			lo, hi := g*24, (g+1)*24
+			if hi > nodes {
+				hi = nodes
+			}
+			want += hi - lo
+		}
+		if got.Sharers.Count() != want {
+			t.Errorf("%v: decoded %d sharers, want clamped group expansion %d", ids, got.Sharers.Count(), want)
+		}
+		for _, m := range got.Sharers.Members(MaxNodes) {
+			if int(m) >= nodes {
+				t.Errorf("%v: decoded phantom sharer %d beyond %d nodes", ids, m, nodes)
+			}
+			if !groups[cfg.group(m)] {
+				t.Errorf("%v: decoded sharer %d outside any encoded group", ids, m)
+			}
+		}
+	}
+
+	// AppendMembers word-walk agrees with a naive Has scan at this size.
+	var s NodeSet
+	for i := 0; i < nodes; i += 37 {
+		s.Add(NodeID(i))
+	}
+	var naive []NodeID
+	for i := 0; i < nodes; i++ {
+		if s.Has(NodeID(i)) {
+			naive = append(naive, NodeID(i))
+		}
+	}
+	walk := s.Members(nodes)
+	if len(walk) != len(naive) {
+		t.Fatalf("Members word-walk found %d ids, naive scan %d", len(walk), len(naive))
+	}
+	for i := range walk {
+		if walk[i] != naive[i] {
+			t.Fatalf("Members[%d] = %d, naive %d", i, walk[i], naive[i])
+		}
+	}
+}

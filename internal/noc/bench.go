@@ -56,6 +56,7 @@ func (hb *HopBench) Round(maxCycles int64) (int, error) {
 		p.age = 0
 		n.rts[p.Src].oq = append(n.rts[p.Src].oq, p)
 		n.inFlight++
+		n.activate(p.Src)
 	}
 	if err := n.Run(maxCycles); err != nil {
 		return 0, err

@@ -261,23 +261,44 @@ type Fabric struct {
 	// (valid only where nodes[i].dead).
 	mirror []NodeID
 
+	// sharerScratch backs sharersExcept: fan-out enumeration is on the
+	// write/invalidate hot path and must not allocate per invalidation.
+	// The protocol runs on the single timing partition, so one scratch
+	// slice per fabric is safe; each call fully overwrites it.
+	sharerScratch []NodeID
+
 	// Global protocol statistics.
 	InvalsSent  uint64
 	InvalMsgs   uint64 // invalidation messages injected (CMI collapses these)
 	InvalAcks   uint64
 	ThreeHop    uint64
 	DirtyShares uint64
+	// OverInvals counts invalidations delivered to nodes that held no
+	// copy — the cost of the coarse vector's group-granular bookkeeping,
+	// which grows with nodes-per-group when N is not a multiple of 42's
+	// capacity (paper §2.5.2's representation trade-off, made visible).
+	OverInvals uint64
 }
 
 // NewFabric builds an n-node coherence domain over the given network.
 func NewFabric(cfg Config, net Network) *Fabric {
 	f := &Fabric{cfg: cfg, dcfg: directory.Config{Nodes: cfg.Nodes}, net: net}
+	// Per-home directory tables start at 1024 slots for small machines
+	// (PR 5's warm steady state) but scale the initial capacity down as
+	// the page-interleaved homes multiply: each home sees ~1/N of the
+	// line universe, and 1024 nodes x 1024 pre-sized slots would burn
+	// ~16 MB before a single line is cached. The tables still grow on
+	// demand; only the starting footprint is O(active), not O(N^2).
+	dirCap := 1024
+	if cfg.Nodes > 64 {
+		dirCap = 64
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		f.nodes = append(f.nodes, &node{
 			id:     NodeID(i),
 			home:   newEngine(fmt.Sprintf("HE%d", i), cfg.TSRFEntries, cfg.HomeOccupancy),
 			remote: newEngine(fmt.Sprintf("RE%d", i), cfg.TSRFEntries, cfg.RemoteOccupancy),
-			dir:    linemap.New[uint64](1024),
+			dir:    linemap.New[uint64](dirCap),
 		})
 	}
 	return f

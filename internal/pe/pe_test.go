@@ -216,7 +216,7 @@ func TestCMIBoundsInjectedMessages(t *testing.T) {
 		entry = directory.AddSharer(f.dcfg, entry, NodeID(i))
 	}
 	f.setDir(h, 0, entry)
-	ack := f.invalidate(0, h, 19, 0, sharers)
+	ack := f.invalidate(0, h, 19, 0, sharers, entry.State == directory.SharedCoarse)
 	if f.InvalMsgs != 4 {
 		t.Fatalf("CMI injected %d messages for 16 sharers, want 4", f.InvalMsgs)
 	}
@@ -231,6 +231,29 @@ func TestCMIBoundsInjectedMessages(t *testing.T) {
 	}
 }
 
+func TestCoarseOverInvalCount(t *testing.T) {
+	// 50 nodes is not a multiple of the 42-bit vector width, so each
+	// coarse group spans two nodes and naming one sharer names its
+	// sibling too. The invalidation must still visit the sibling (the
+	// vector is a superset) but count the visit as an over-invalidation.
+	f, chips := newSystem(t, 50, false)
+	a := lineHomedAt(f, 0)
+	readers := []int{2, 4, 6, 8, 10, 12}
+	for _, i := range readers {
+		chips[i].l2.Access(0, chips[i].d[0], l2.Read, a)
+	}
+	if e := f.dirEntry(f.nodes[0], a.Line()); e.State != directory.SharedCoarse {
+		t.Fatalf("directory %v after %d sharers, want SharedCoarse", e.State, len(readers))
+	}
+	chips[1].l2.Access(10*sim.Microsecond, chips[1].d[0], l2.ReadEx, a)
+	if f.OverInvals == 0 {
+		t.Fatal("coarse invalidation visited no non-holders; over-invalidations not counted")
+	}
+	if f.OverInvals >= f.InvalsSent {
+		t.Fatalf("OverInvals %d >= InvalsSent %d: true sharers misclassified", f.OverInvals, f.InvalsSent)
+	}
+}
+
 func TestBroadcastVsCMIMessageCounts(t *testing.T) {
 	mk := func(useCMI bool) *Fabric {
 		cfg := DefaultConfig(40)
@@ -242,9 +265,9 @@ func TestBroadcastVsCMIMessageCounts(t *testing.T) {
 		sharers = append(sharers, NodeID(i))
 	}
 	cmi := mk(true)
-	cmi.invalidate(0, cmi.nodes[0], 39, 0, sharers)
+	cmi.invalidate(0, cmi.nodes[0], 39, 0, sharers, false)
 	bc := mk(false)
-	bc.invalidate(0, bc.nodes[0], 39, 0, sharers)
+	bc.invalidate(0, bc.nodes[0], 39, 0, sharers, false)
 	if cmi.InvalMsgs >= bc.InvalMsgs {
 		t.Fatalf("CMI (%d msgs) should inject fewer than broadcast (%d)", cmi.InvalMsgs, bc.InvalMsgs)
 	}

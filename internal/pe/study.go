@@ -22,7 +22,7 @@ func (f *Fabric) InvalidateStudy(k int) (uint64, sim.Time) {
 		entry = directory.AddSharer(f.dcfg, entry, n)
 	}
 	f.setDir(h, 0x40, entry)
-	ack := f.invalidate(0, h, NodeID(f.cfg.Nodes-1), 0x40, sharers)
+	ack := f.invalidate(0, h, NodeID(f.cfg.Nodes-1), 0x40, sharers, entry.State == directory.SharedCoarse)
 	return f.InvalMsgs, ack
 }
 

@@ -222,7 +222,7 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 		// the grant does not wait for acknowledgments (they gather at
 		// the requester).
 		sharers := f.sharersExcept(entry, req)
-		ackTime = f.invalidate(start, h, req, line, sharers)
+		ackTime = f.invalidate(start, h, req, line, sharers, entry.State == directory.SharedCoarse)
 		if f.cfg.Baseline && ackTime > dataReady {
 			// The baseline is strict request-reply: exclusivity waits.
 			dataReady = ackTime
@@ -251,8 +251,11 @@ func (f *Fabric) atHome(arrive sim.Time, h *node, req NodeID, kind l2.Kind, line
 // fail-stop, dead nodes are filtered out: the reconstruction sweep purges
 // precise vectors, but a coarse vector's re-encoded group bits can still
 // cover the dead node, and no message may ever target a dead chip.
+// The returned slice is the fabric's reused scratch (valid until the
+// next call) and the enumeration word-walks the sharer bitset, so the
+// cost is O(sharers), not O(nodes) plus an allocation per invalidation.
 func (f *Fabric) sharersExcept(e directory.Entry, skip NodeID) []NodeID {
-	var out []NodeID
+	out := f.sharerScratch[:0]
 	switch e.State {
 	case directory.Uncached:
 		// No copies exist anywhere; nothing to invalidate.
@@ -261,12 +264,16 @@ func (f *Fabric) sharersExcept(e directory.Entry, skip NodeID) []NodeID {
 			out = append(out, e.Owner)
 		}
 	case directory.Shared, directory.SharedCoarse:
-		for _, n := range e.Sharers.Members(f.cfg.Nodes) {
+		out = e.Sharers.AppendMembers(out, f.cfg.Nodes)
+		kept := out[:0]
+		for _, n := range out {
 			if n != skip && !(f.anyDead && f.nodes[n].dead) {
-				out = append(out, n)
+				kept = append(kept, n)
 			}
 		}
+		out = kept
 	}
+	f.sharerScratch = out
 	return out
 }
 
@@ -276,7 +283,10 @@ func (f *Fabric) sharersExcept(e directory.Entry, skip NodeID) []NodeID {
 // each visits its subset of nodes serially and the last node of each
 // route acknowledges. Without CMI the home injects one message per
 // sharer (serialized at the home engine) and every sharer acknowledges.
-func (f *Fabric) invalidate(now sim.Time, h *node, req NodeID, line cache.LineAddr, sharers []NodeID) sim.Time {
+// coarse marks a coarse-vector entry: a visited node with no on-chip
+// copy then counts as an over-invalidation (group-granular bookkeeping
+// named it a sharer when it never was one).
+func (f *Fabric) invalidate(now sim.Time, h *node, req NodeID, line cache.LineAddr, sharers []NodeID, coarse bool) sim.Time {
 	if len(sharers) == 0 {
 		return now
 	}
@@ -287,7 +297,9 @@ func (f *Fabric) invalidate(now sim.Time, h *node, req NodeID, line cache.LineAd
 		tgt := f.nodes[n]
 		done := tgt.remote.process(t, 0)
 		if tgt.l2 != nil {
-			tgt.l2.ServeRemote(done, line, true)
+			if onChip, _, _ := tgt.l2.ServeRemote(done, line, true); !onChip && coarse {
+				f.OverInvals++
+			}
 		}
 		return done
 	}
@@ -358,7 +370,7 @@ func (p *NodeProto) Invalidate(now sim.Time, line cache.LineAddr) sim.Time {
 	h.home.Stats.Transactions++
 	h.home.Stats.Occupancy += f.cfg.HomeOccupancy
 	start += f.cfg.HomeOccupancy
-	ack := f.invalidate(start, h, p.id, line, sharers)
+	ack := f.invalidate(start, h, p.id, line, sharers, entry.State == directory.SharedCoarse)
 	f.setDir(h, line, directory.Clear())
 	grant := start
 	if f.cfg.Baseline {

@@ -86,12 +86,24 @@ type OLTP struct {
 	spawned int
 	// hot block subset of SGAData.
 	hotBlocks Region
+	// Shared Zipf samplers. A sampler's Next reads only fields frozen
+	// by NewZipf, so one instance serves every process; building them
+	// once here instead of per process matters at scale-out sizes —
+	// NewZipf is O(region lines), and a 1024-node machine constructs
+	// thousands of server processes.
+	metaZipf, hotZipf, kbssZipf, lockZipf *sim.Zipf
 }
 
 // NewOLTP prepares the workload for nProcs server processes.
 func NewOLTP(cfg OLTPConfig, lay Layout, nProcs int) *OLTP {
 	hot := Region{Base: lay.SGAData.Base, Bytes: 1 << 20} // 1 MB hot block set
-	return &OLTP{Cfg: cfg, Lay: lay, nProcs: nProcs, hotBlocks: hot}
+	return &OLTP{
+		Cfg: cfg, Lay: lay, nProcs: nProcs, hotBlocks: hot,
+		metaZipf: sim.NewZipf(int(lay.SGAMeta.Lines()/64), cfg.ShareTheta),
+		hotZipf:  sim.NewZipf(int(hot.Lines()), cfg.DataTheta),
+		kbssZipf: sim.NewZipf(int(lay.KernBSS.Lines()), cfg.ShareTheta),
+		lockZipf: sim.NewZipf(int(lay.LockTab.Lines()), cfg.ShareTheta),
+	}
 }
 
 // NewProcess returns the op stream for the next server process.
@@ -103,9 +115,9 @@ func (o *OLTP) NewProcess() *OLTPProc {
 
 // Process builds the id'th server process's op stream without touching
 // shared workload state: everything it reads (layout, config, hot-set
-// bounds) is immutable after NewOLTP, so distinct ids may be constructed
-// concurrently — the per-process Zipf tables dominate workload setup
-// cost, and an intra-parallel run builds them on the phase workers.
+// bounds, the shared Zipf samplers) is immutable after NewOLTP, so
+// distinct ids may be constructed concurrently — an intra-parallel run
+// builds processes on the phase workers.
 // Construction is a pure function of id: Process(i) for i = 0..n-1 in
 // any order yields exactly the processes a serial NewProcess loop would.
 func (o *OLTP) Process(id int) *OLTPProc {
@@ -115,10 +127,10 @@ func (o *OLTP) Process(id int) *OLTPProc {
 		pga:      o.Lay.PGASlice(id, o.nProcs),
 		code:     newCodeWalker(o.Lay.DBCode, o.Cfg.CodeFuncs, 12, o.Cfg.CodeTheta),
 		kern:     newCodeWalker(o.Lay.OSCode, o.Cfg.KernFuncs, 12, o.Cfg.CodeTheta),
-		metaZipf: sim.NewZipf(int(o.Lay.SGAMeta.Lines()/64), o.Cfg.ShareTheta),
-		hotZipf:  sim.NewZipf(int(o.hotBlocks.Lines()), o.Cfg.DataTheta),
-		kbssZipf: sim.NewZipf(int(o.Lay.KernBSS.Lines()), o.Cfg.ShareTheta),
-		lockZipf: sim.NewZipf(int(o.Lay.LockTab.Lines()), o.Cfg.ShareTheta),
+		metaZipf: o.metaZipf,
+		hotZipf:  o.hotZipf,
+		kbssZipf: o.kbssZipf,
+		lockZipf: o.lockZipf,
 		histCur:  uint64(id) * (o.Lay.History.Lines() / uint64(maxI(o.nProcs, 1))),
 	}
 	// The PGA hot set is the first 32 KB of the process's slice.

@@ -37,6 +37,7 @@ import (
 	"piranha/internal/core"
 	"piranha/internal/fault"
 	"piranha/internal/kernel"
+	"piranha/internal/noc"
 	"piranha/internal/ras"
 	"piranha/internal/sim"
 	"piranha/internal/trace"
@@ -156,6 +157,42 @@ func MultiChip(n, cpusPerChip int) SystemConfig {
 func MultiChipOOO(n int) SystemConfig {
 	return SystemConfig{Chips: n, Chip: core.OOOChip()}
 }
+
+// ScaleOut returns the glueless scale-out machine of paper Figure 3 /
+// §2.6: n Piranha chips with cpusPerChip cores each on a 2-D torus
+// (the most-square W x H factorization of n), backed by the
+// packet-level router model so inter-node latency grows with torus
+// distance instead of staying flat. The paper's design target is
+// n up to 1024 nodes; ScaleOut64 through ScaleOut1024 are the preset
+// points of the scaling suite.
+func ScaleOut(n, cpusPerChip int) SystemConfig {
+	w, h := torusDims(n)
+	return SystemConfig{
+		Chips:    n,
+		Chip:     core.PiranhaChip(cpusPerChip),
+		Topology: noc.Torus{W: w, H: h},
+	}
+}
+
+// torusDims returns the most-square W x H factorization of n (W <= H).
+func torusDims(n int) (w, h int) {
+	if n < 1 {
+		n = 1
+	}
+	for w = 1; (w+1)*(w+1) <= n; w++ {
+	}
+	for ; n%w != 0; w-- {
+	}
+	return w, n / w
+}
+
+// Scale-out presets: single-core Piranha chips on 2-D tori, the node
+// counts of the paper's scaling argument (§2.6 targets up to 1024).
+func ScaleOut8() SystemConfig    { return ScaleOut(8, 1) }
+func ScaleOut32() SystemConfig   { return ScaleOut(32, 1) }
+func ScaleOut64() SystemConfig   { return ScaleOut(64, 1) }
+func ScaleOut256() SystemConfig  { return ScaleOut(256, 1) }
+func ScaleOut1024() SystemConfig { return ScaleOut(1024, 1) }
 
 // Option configures a Run.
 type Option func(*runConfig)
